@@ -1,0 +1,310 @@
+package netpart
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the index). Each benchmark
+// regenerates its artifact end-to-end, so `go test -bench=.` is the
+// full reproduction run; b.ReportMetric attaches the headline numbers
+// (bisection bandwidths, speedups, simulated seconds) to the output.
+//
+// Supporting ablation benches cover the computational kernels the
+// experiments rest on: the Theorem 3.1 bound, the exact cuboid search,
+// max-min fair rate allocation, DOR routing, and the
+// Strassen-vs-classical crossover.
+
+import (
+	"math/rand"
+	"testing"
+
+	"netpart/internal/bgq"
+	"netpart/internal/experiments"
+	"netpart/internal/iso"
+	"netpart/internal/matrix"
+	"netpart/internal/model"
+	"netpart/internal/mpi"
+	"netpart/internal/netsim"
+	"netpart/internal/route"
+	"netpart/internal/strassen"
+	"netpart/internal/torus"
+	"netpart/internal/workload"
+)
+
+// --- Tables ---
+
+func BenchmarkTable1Mira(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table1().Rows) != 4 {
+			b.Fatal("table 1 wrong")
+		}
+	}
+}
+
+func BenchmarkTable2Juqueen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table2().Rows) != 6 {
+			b.Fatal("table 2 wrong")
+		}
+	}
+}
+
+func BenchmarkTable3MatmulParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table3().Rows) != 4 {
+			b.Fatal("table 3 wrong")
+		}
+	}
+}
+
+func BenchmarkTable4ScalingParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table4().Rows) != 3 {
+			b.Fatal("table 4 wrong")
+		}
+	}
+}
+
+func BenchmarkTable5Machines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table5().Rows) != 24 {
+			b.Fatal("table 5 wrong")
+		}
+	}
+}
+
+func BenchmarkTable6MiraFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table6().Rows) != 10 {
+			b.Fatal("table 6 wrong")
+		}
+	}
+}
+
+func BenchmarkTable7JuqueenFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table7().Rows) != 19 {
+			b.Fatal("table 7 wrong")
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFigure1MiraBW(b *testing.B) {
+	var full float64
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure1()
+		full = f.Series[1].Y[len(f.X)-1]
+	}
+	b.ReportMetric(full, "fullMachineBW")
+}
+
+func BenchmarkFigure2JuqueenBW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure2()
+		if len(f.X) != 19 {
+			b.Fatal("figure 2 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure3MiraPairing(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure3(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = fig.MaxSpeedup()
+	}
+	b.ReportMetric(speedup, "maxSpeedup")
+}
+
+func BenchmarkFigure4JuqueenPairing(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure4(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = fig.MaxSpeedup()
+	}
+	b.ReportMetric(speedup, "maxSpeedup")
+}
+
+func BenchmarkFigure5MatmulComm(b *testing.B) {
+	var r float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r = fig.PointsA[0].Prediction.CommSec / fig.PointsB[0].Prediction.CommSec
+	}
+	b.ReportMetric(r, "commSpeedup4mp")
+}
+
+func BenchmarkFigure6StrongScaling(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s = fig.PointsB[0].Prediction.CommSec / fig.PointsB[2].Prediction.CommSec
+	}
+	b.ReportMetric(s, "proposed2to8Speedup")
+}
+
+func BenchmarkFigure7MachineDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure7()
+		if len(f.Series) != 3 {
+			b.Fatal("figure 7 wrong")
+		}
+	}
+}
+
+// --- Ablations: isoperimetric core ---
+
+func BenchmarkTheorem31Bound(b *testing.B) {
+	dims := torus.Shape{28, 8, 8, 8, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		iso.TorusBound(dims, 14336)
+	}
+}
+
+func BenchmarkOptimalCuboidSearch(b *testing.B) {
+	dims := torus.Shape{16, 16, 12, 8, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := iso.MinCuboidPerimeter(dims, 24576); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBisectionAllMiraPartitions(b *testing.B) {
+	mira := bgq.Mira()
+	sizes := mira.PredefinedSizes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sizes {
+			p, _ := mira.Predefined(s)
+			_ = p.BisectionBW()
+		}
+	}
+}
+
+func BenchmarkHypercubeHarper(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := iso.HarperPerimeter(30, (1<<30)/3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHyperXLindsey(b *testing.B) {
+	dims := torus.Shape{16, 8, 8} // a large HyperX
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := iso.LindseyPerimeter(dims, 511); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations: simulator core ---
+
+func BenchmarkDORRouting(b *testing.B) {
+	tor := torus.MustNew(16, 16, 12, 8, 2)
+	r := route.NewRouter(tor)
+	buf := make([]int, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % tor.NumVertices()
+		buf = r.Route(src, r.FurthestNode(src), buf[:0])
+	}
+}
+
+func BenchmarkMaxMinFair(b *testing.B) {
+	// One pairing round on the 4-midplane current geometry: 2048 flows.
+	tor := torus.MustNew(16, 4, 4, 4, 2)
+	r := route.NewRouter(tor)
+	demands := workload.BisectionPairing(r, 2.1472e9)
+	routes := make([][]int, len(demands))
+	for i, d := range demands {
+		routes[i] = r.Route(d.Src, d.Dst, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := netsim.New(r.NumLinks(), 2e9)
+		for j, d := range demands {
+			sim.StartFlow(routes[j], d.Bytes, 0)
+		}
+		sim.RunUntilIdle()
+	}
+}
+
+func BenchmarkSimulatedMPIAllreduce(b *testing.B) {
+	tor := torus.MustNew(8, 4, 4, 4, 2) // 2 midplanes
+	buf := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := mpi.Run(mpi.Config{Topology: tor}, func(c *mpi.Comm) {
+			c.Allreduce(buf, mpi.SumOp)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations: workload kernels ---
+
+func BenchmarkStrassenSequential512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := matrix.New(512, 512)
+	y := matrix.New(512, 512)
+	x.FillRandom(rng)
+	y.FillRandom(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = strassen.Multiply(x, y)
+	}
+}
+
+func BenchmarkClassicalMatmul512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := matrix.New(512, 512)
+	y := matrix.New(512, 512)
+	z := matrix.New(512, 512)
+	x.FillRandom(rng)
+	y.FillRandom(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.Mul(z, x, y)
+	}
+}
+
+func BenchmarkCAPSCostAccounting(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := strassen.Costs(32928, 31213, strassen.AllBFS(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictMatmul(b *testing.B) {
+	mira := bgq.Mira()
+	p, _ := mira.Predefined(4)
+	cfg := model.MatmulConfig{N: 32928, Ranks: 31213, BFSSteps: 4, Partition: p}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.PredictMatmul(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

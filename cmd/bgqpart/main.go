@@ -1,0 +1,219 @@
+// Command bgqpart analyzes Blue Gene/Q partition geometries: it prints
+// the paper's partition tables (1, 2, 5, 6, 7), the bandwidth figures
+// (1, 2, 7), and per-size geometry recommendations for any cataloged
+// machine.
+//
+// Usage:
+//
+//	bgqpart                      # print every table and figure
+//	bgqpart -table 1             # one table (1, 2, 5, 6, 7)
+//	bgqpart -figure 2            # one figure (1, 2, 7)
+//	bgqpart -machine juqueen -midplanes 24   # analyze one request
+//	bgqpart -machine mira -list  # list feasible sizes and geometries
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netpart/internal/bgq"
+	"netpart/internal/experiments"
+)
+
+func main() {
+	machine := flag.String("machine", "mira", "machine: mira, juqueen, sequoia, juqueen48, juqueen54")
+	table := flag.Int("table", 0, "print one paper table (1, 2, 5, 6, 7)")
+	figure := flag.Int("figure", 0, "print one paper figure (1, 2, 7)")
+	midplanes := flag.Int("midplanes", 0, "analyze one allocation size (midplanes)")
+	list := flag.Bool("list", false, "list all feasible sizes with best/worst geometries")
+	chart := flag.Bool("chart", false, "render figures as ASCII charts instead of tables")
+	jsonOut := flag.Bool("json", false, "emit the machine analysis as JSON (with -list or -midplanes)")
+	sequoia := flag.Bool("sequoia", false, "print the Sequoia analysis (paper §5)")
+	others := flag.Bool("others", false, "print the other-topologies analysis (paper §5)")
+	flag.Parse()
+
+	m, err := lookupMachine(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	switch {
+	case *sequoia:
+		fmt.Print(experiments.SequoiaAnalysis().Render())
+	case *others:
+		fmt.Print(experiments.OtherTopologies().Render())
+	case *table != 0:
+		printTable(*table)
+	case *figure != 0:
+		printFigure(*figure, *chart)
+	case *jsonOut:
+		emitJSON(m, *midplanes)
+	case *midplanes != 0:
+		analyzeSize(m, *midplanes)
+	case *list:
+		listSizes(m)
+	default:
+		for _, t := range []int{1, 2, 5, 6, 7} {
+			printTable(t)
+			fmt.Println()
+		}
+		for _, f := range []int{1, 2, 7} {
+			printFigure(f, *chart)
+			fmt.Println()
+		}
+	}
+}
+
+func lookupMachine(name string) (*bgq.Machine, error) {
+	switch strings.ToLower(name) {
+	case "mira":
+		return bgq.Mira(), nil
+	case "juqueen":
+		return bgq.Juqueen(), nil
+	case "sequoia":
+		return bgq.Sequoia(), nil
+	case "juqueen48", "juqueen-48":
+		return bgq.Juqueen48(), nil
+	case "juqueen54", "juqueen-54":
+		return bgq.Juqueen54(), nil
+	default:
+		return nil, fmt.Errorf("bgqpart: unknown machine %q", name)
+	}
+}
+
+func printTable(n int) {
+	switch n {
+	case 1:
+		fmt.Print(experiments.Table1().Render())
+	case 2:
+		fmt.Print(experiments.Table2().Render())
+	case 5:
+		fmt.Print(experiments.Table5().Render())
+	case 6:
+		fmt.Print(experiments.Table6().Render())
+	case 7:
+		fmt.Print(experiments.Table7().Render())
+	default:
+		fmt.Fprintf(os.Stderr, "bgqpart: no partition table %d (3 and 4 belong to cmd/contention)\n", n)
+		os.Exit(2)
+	}
+}
+
+func printFigure(n int, chart bool) {
+	var f experiments.BWFigure
+	switch n {
+	case 1:
+		f = experiments.Figure1()
+	case 2:
+		f = experiments.Figure2()
+	case 7:
+		f = experiments.Figure7()
+	default:
+		fmt.Fprintf(os.Stderr, "bgqpart: no bandwidth figure %d (3-6 belong to cmd/contention)\n", n)
+		os.Exit(2)
+	}
+	if chart {
+		fmt.Print(f.Chart().Render())
+	} else {
+		fmt.Print(f.Table().Render())
+	}
+}
+
+func analyzeSize(m *bgq.Machine, midplanes int) {
+	fmt.Println(m)
+	geoms := m.Geometries(midplanes)
+	if len(geoms) == 0 {
+		fmt.Printf("no %d-midplane cuboid fits this machine\n", midplanes)
+		os.Exit(1)
+	}
+	best, _ := m.Best(midplanes)
+	worst, _ := m.Worst(midplanes)
+	fmt.Printf("\n%d midplanes (%d nodes): %d feasible geometries\n", midplanes, midplanes*bgq.MidplaneNodes, len(geoms))
+	for _, g := range geoms {
+		marks := ""
+		if g.Equal(best) {
+			marks += "  <- best"
+		}
+		if g.Equal(worst) && !best.Equal(worst) {
+			marks += "  <- worst"
+		}
+		fmt.Printf("  %-12s bisection %5d links (%6.1f GB/s)%s\n", g, g.BisectionBW(), g.BisectionGBps(), marks)
+	}
+	if cur, ok := m.Predefined(midplanes); ok {
+		fmt.Printf("\nscheduler's predefined geometry: %s (bisection %d)\n", cur, cur.BisectionBW())
+		if prop, improved := m.Proposed(midplanes); improved {
+			fmt.Printf("proposed geometry: %s (bisection %d) — contention-bound speedup up to %.2fx\n",
+				prop, prop.BisectionBW(), float64(prop.BisectionBW())/float64(cur.BisectionBW()))
+		} else {
+			fmt.Println("the predefined geometry is already optimal")
+		}
+	} else if !best.Equal(worst) {
+		fmt.Printf("\nrequest geometry %s explicitly: a size-only request may receive %s (%.2fx slower when contention-bound)\n",
+			best, worst, float64(best.BisectionBW())/float64(worst.BisectionBW()))
+	}
+}
+
+// sizeReport is the JSON shape of one allocation size's analysis.
+type sizeReport struct {
+	Midplanes  int             `json:"midplanes"`
+	Nodes      int             `json:"nodes"`
+	Geometries []bgq.Partition `json:"geometries"`
+	Best       bgq.Partition   `json:"best"`
+	Worst      bgq.Partition   `json:"worst"`
+	Predefined *bgq.Partition  `json:"predefined,omitempty"`
+	Proposed   *bgq.Partition  `json:"proposed,omitempty"`
+}
+
+func emitJSON(m *bgq.Machine, midplanes int) {
+	sizes := m.FeasibleSizes()
+	if midplanes != 0 {
+		sizes = []int{midplanes}
+	}
+	out := struct {
+		Machine string       `json:"machine"`
+		Grid    string       `json:"grid"`
+		Nodes   int          `json:"nodes"`
+		Sizes   []sizeReport `json:"sizes"`
+	}{Machine: m.Name, Grid: m.Grid.String(), Nodes: m.Nodes()}
+	for _, s := range sizes {
+		geoms := m.Geometries(s)
+		if len(geoms) == 0 {
+			fmt.Fprintf(os.Stderr, "bgqpart: no %d-midplane cuboid fits %s\n", s, m.Name)
+			os.Exit(1)
+		}
+		best, _ := m.Best(s)
+		worst, _ := m.Worst(s)
+		rep := sizeReport{Midplanes: s, Nodes: s * bgq.MidplaneNodes, Geometries: geoms, Best: best, Worst: worst}
+		if p, ok := m.Predefined(s); ok {
+			rep.Predefined = &p
+		}
+		if p, ok := m.Proposed(s); ok {
+			rep.Proposed = &p
+		}
+		out.Sizes = append(out.Sizes, rep)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "bgqpart:", err)
+		os.Exit(1)
+	}
+}
+
+func listSizes(m *bgq.Machine) {
+	fmt.Println(m)
+	for _, s := range m.FeasibleSizes() {
+		best, _ := m.Best(s)
+		worst, _ := m.Worst(s)
+		if best.Equal(worst) {
+			fmt.Printf("  %3d midplanes: %-12s bisection %5d\n", s, best, best.BisectionBW())
+			continue
+		}
+		fmt.Printf("  %3d midplanes: best %-12s %5d | worst %-12s %5d\n",
+			s, best, best.BisectionBW(), worst, worst.BisectionBW())
+	}
+}

@@ -1,0 +1,86 @@
+// Command contention runs the paper's benchmark experiments on the
+// simulated Blue Gene/Q machines: the bisection-pairing benchmark
+// (Figures 3, 4), the Strassen-Winograd matrix-multiplication
+// experiment (Table 3, Figure 5) and the strong-scaling study
+// (Table 4, Figure 6).
+//
+// Usage:
+//
+//	contention                       # run everything
+//	contention -experiment pairing   # Figures 3 and 4
+//	contention -experiment matmul    # Table 3 and Figure 5
+//	contention -experiment scaling   # Table 4 and Figure 6
+//	contention -full                 # simulate every pairing round
+//	contention -chart                # ASCII charts as well as tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netpart/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "pairing, matmul, scaling, or all")
+	full := flag.Bool("full", false, "simulate every pairing round (slower; identical results in the fluid model)")
+	chart := flag.Bool("chart", false, "render ASCII charts")
+	flag.Parse()
+
+	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+	ran := false
+
+	if run("pairing") {
+		ran = true
+		for _, gen := range []func(bool) (experiments.PairingFigure, error){experiments.Figure3, experiments.Figure4} {
+			fig, err := gen(*full)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(fig.Table().Render())
+			if *chart {
+				fmt.Print(fig.Chart().Render())
+			}
+			fmt.Printf("max contention-bound speedup: %.2fx\n\n", fig.MaxSpeedup())
+		}
+	}
+	if run("matmul") {
+		ran = true
+		fmt.Print(experiments.Table3().Render())
+		fmt.Println()
+		fig, err := experiments.Figure5()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(fig.Table().Render())
+		if *chart {
+			fmt.Print(fig.Chart().Render())
+		}
+		fmt.Println()
+	}
+	if run("scaling") {
+		ran = true
+		fmt.Print(experiments.Table4().Render())
+		fmt.Println()
+		fig, err := experiments.Figure6()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(fig.Table().Render())
+		if *chart {
+			fmt.Print(fig.Chart().Render())
+		}
+		if fig.PointsA[0].Prediction.MemoryBound {
+			fmt.Println("note: the 2-midplane run exceeds the combined L2 capacity (the paper's §4.3 super-linear anomaly)")
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "contention: unknown experiment %q (want pairing, matmul, scaling, all)\n", *experiment)
+		os.Exit(2)
+	}
+}

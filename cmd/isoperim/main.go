@@ -1,0 +1,136 @@
+// Command isoperim is a general edge-isoperimetric calculator for the
+// network topologies of the paper's §5: tori (Theorem 3.1 bound plus
+// exact cuboid search), hypercubes (Harper), HyperX clique products
+// (Lindsey) and 2D meshes (brute force).
+//
+// Usage:
+//
+//	isoperim -topology torus -dims 16x16x12x8x2 -t 24576
+//	isoperim -topology hypercube -d 10 -t 341
+//	isoperim -topology hyperx -dims 16x6 -t 48
+//	isoperim -topology mesh -dims 6x4 -t 12      # exact, small only
+//	isoperim -topology torus -dims 8x8x4 -bisection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netpart/internal/iso"
+	"netpart/internal/topo"
+	"netpart/internal/torus"
+)
+
+func main() {
+	topology := flag.String("topology", "torus", "torus, hypercube, hyperx, mesh")
+	dims := flag.String("dims", "", "dimensions, e.g. 16x16x12x8x2")
+	d := flag.Int("d", 0, "hypercube dimension")
+	t := flag.Int("t", 0, "subset size")
+	bisection := flag.Bool("bisection", false, "compute the bisection instead of a subset size")
+	flag.Parse()
+
+	if err := run(*topology, *dims, *d, *t, *bisection); err != nil {
+		fmt.Fprintln(os.Stderr, "isoperim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topology, dimsStr string, d, t int, bisection bool) error {
+	switch topology {
+	case "torus":
+		sh, err := torus.ParseShape(dimsStr)
+		if err != nil {
+			return err
+		}
+		if bisection {
+			t = sh.Volume() / 2
+		}
+		if t < 1 {
+			return fmt.Errorf("need -t or -bisection")
+		}
+		fmt.Printf("torus %s, |V| = %d, subset size t = %d\n", sh, sh.Volume(), t)
+		if t <= sh.Volume()/2 {
+			bound, r := iso.TorusBound(sh, t)
+			fmt.Printf("Theorem 3.1 bound: %.3f (minimizing r = %d)\n", bound, r)
+			if att, ok := iso.AttainingCuboid(sh, t); ok {
+				fmt.Printf("attaining cuboid S_r: %s\n", att)
+			}
+		}
+		res, err := iso.MinCuboidPerimeter(sh, t)
+		if err != nil {
+			fmt.Printf("exact cuboid search: %v\n", err)
+		} else {
+			fmt.Printf("optimal cuboid: %s with perimeter %d\n", res.Lens, res.Perimeter)
+		}
+		return nil
+
+	case "hypercube":
+		if d < 1 {
+			return fmt.Errorf("need -d for hypercube")
+		}
+		if bisection {
+			t = 1 << uint(d-1)
+		}
+		per, err := iso.HarperPerimeter(d, t)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hypercube Q%d, |V| = %d, t = %d\n", d, 1<<uint(d), t)
+		fmt.Printf("Harper minimum perimeter: %d\n", per)
+		return nil
+
+	case "hyperx":
+		sh, err := torus.ParseShape(dimsStr)
+		if err != nil {
+			return err
+		}
+		if bisection {
+			t = sh.Volume() / 2
+		}
+		per, err := iso.LindseyPerimeter(sh, t)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("HyperX K%s, |V| = %d, t = %d\n", sh, sh.Volume(), t)
+		fmt.Printf("Lindsey minimum perimeter: %d\n", per)
+		bi, err := iso.HyperXBisection(sh)
+		if err == nil {
+			fmt.Printf("bisection: %d\n", bi)
+		}
+		return nil
+
+	case "mesh":
+		sh, err := torus.ParseShape(dimsStr)
+		if err != nil {
+			return err
+		}
+		if len(sh) != 2 {
+			return fmt.Errorf("mesh needs 2 dimensions")
+		}
+		g, err := topo.Mesh2D(sh[0], sh[1])
+		if err != nil {
+			return err
+		}
+		if bisection {
+			t = g.N() / 2
+		}
+		per, set, err := g.MinPerimeter(t)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mesh %s, |V| = %d, t = %d\n", sh, g.N(), t)
+		fmt.Printf("exact minimum perimeter: %.0f\n", per)
+		fmt.Print("an optimal subset: ")
+		for v, in := range set {
+			if in {
+				fmt.Printf("%d ", v)
+			}
+		}
+		fmt.Println()
+		return nil
+
+	default:
+		return fmt.Errorf("unknown topology %q", topology)
+	}
+}

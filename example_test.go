@@ -1,0 +1,64 @@
+package netpart_test
+
+import (
+	"fmt"
+
+	"netpart"
+)
+
+// The headline result: Mira's 24-midplane partition geometry leaves a
+// third of the achievable bisection bandwidth on the table.
+func Example() {
+	mira := netpart.Mira()
+	current, _ := mira.Predefined(24)
+	proposed, _ := mira.Proposed(24)
+	speedup, _ := netpart.SpeedupBound(current, proposed)
+	fmt.Printf("current:  %s (bisection %d links)\n", current, current.BisectionBW())
+	fmt.Printf("proposed: %s (bisection %d links)\n", proposed, proposed.BisectionBW())
+	fmt.Printf("contention-bound speedup: %.2fx\n", speedup)
+	// Output:
+	// current:  4x3x2x1 (bisection 1536 links)
+	// proposed: 3x2x2x2 (bisection 2048 links)
+	// contention-bound speedup: 1.33x
+}
+
+// Theorem 3.1 bounds the perimeter of any subset of a torus with
+// arbitrary dimension lengths; the attaining cuboid realizes it.
+func ExampleTorusBound() {
+	dims := netpart.Shape{9, 3, 3}
+	bound, r := netpart.TorusBound(dims, 27)
+	best, _ := netpart.MinCuboidPerimeter(dims, 27)
+	fmt.Printf("bound %.0f at r=%d; optimal cuboid %s with perimeter %d\n",
+		bound, r, best.Lens, best.Perimeter)
+	// Output:
+	// bound 18 at r=2; optimal cuboid 3x3x3 with perimeter 18
+}
+
+// Internal bisection of a Blue Gene/Q partition, exactly and via the
+// 2N/L closed form.
+func ExampleBisection() {
+	res, _ := netpart.Bisection(netpart.Shape{12, 8, 8, 8, 2})
+	fmt.Printf("half-volume cuboid %s cuts %d links\n", res.Lens, res.Perimeter)
+	// Output:
+	// half-volume cuboid 6x8x8x8x2 cuts 2048 links
+}
+
+// JUQUEEN accepts any fitting cuboid, so equal-size requests can
+// receive wildly different bandwidth.
+func ExampleMachine() {
+	jq := netpart.Juqueen()
+	best, _ := jq.Best(12)
+	worst, _ := jq.Worst(12)
+	fmt.Printf("12 midplanes: best %s (%d), worst %s (%d)\n",
+		best, best.BisectionBW(), worst, worst.BisectionBW())
+	// Output:
+	// 12 midplanes: best 3x2x2x1 (1024), worst 6x2x1x1 (512)
+}
+
+// ParseShape reads the AxBxC geometry notation used throughout.
+func ExampleParseShape() {
+	sh, _ := netpart.ParseShape("16x16x12x8x2")
+	fmt.Println(sh.Volume(), "nodes, longest dimension", sh.LongestDim())
+	// Output:
+	// 49152 nodes, longest dimension 16
+}

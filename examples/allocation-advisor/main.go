@@ -1,0 +1,90 @@
+// Allocation-advisor: the paper's practical recommendation turned into
+// a tool. Given a machine and a job size, it enumerates every
+// partition geometry the network supports, ranks them by internal
+// bisection bandwidth, and tells the user what to request — and what a
+// size-only request might cost them (the §3.2 JUQUEEN inconsistency).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"netpart/internal/bgq"
+	"netpart/internal/model"
+	"netpart/internal/tabulate"
+)
+
+func main() {
+	machineName := flag.String("machine", "juqueen", "mira, juqueen, sequoia, juqueen48, juqueen54")
+	midplanes := flag.Int("midplanes", 24, "job size in midplanes (512 nodes each)")
+	contentionBound := flag.Bool("contention-bound", true, "whether the job is network-contention-bound")
+	flag.Parse()
+
+	var m *bgq.Machine
+	switch strings.ToLower(*machineName) {
+	case "mira":
+		m = bgq.Mira()
+	case "juqueen":
+		m = bgq.Juqueen()
+	case "sequoia":
+		m = bgq.Sequoia()
+	case "juqueen48":
+		m = bgq.Juqueen48()
+	case "juqueen54":
+		m = bgq.Juqueen54()
+	default:
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+
+	fmt.Println(m)
+	geoms := m.Geometries(*midplanes)
+	if len(geoms) == 0 {
+		log.Fatalf("%s cannot host a %d-midplane cuboid; nearest feasible sizes: %v",
+			m.Name, *midplanes, nearest(m, *midplanes))
+	}
+
+	t := tabulate.Table{
+		Title:   fmt.Sprintf("%d-midplane (%d-node) geometries on %s", *midplanes, *midplanes*bgq.MidplaneNodes, m.Name),
+		Headers: []string{"geometry", "node network", "bisection (links)", "bisection (GB/s)", "per-node"},
+	}
+	best, _ := m.Best(*midplanes)
+	for _, g := range geoms {
+		t.AddRow(g.String(), g.NodeShape().String(), g.BisectionBW(),
+			g.BisectionGBps(), fmt.Sprintf("%.4f", g.BWPerNode()))
+	}
+	fmt.Println()
+	fmt.Print(t.Render())
+
+	worst, _ := m.Worst(*midplanes)
+	fmt.Printf("\nrecommendation: request geometry %s explicitly.\n", best)
+	if !best.Equal(worst) && *contentionBound {
+		slow, err := model.SpeedupBound(worst, best)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("a size-only request may be placed as %s instead: up to %.2fx slower for a contention-bound job.\n", worst, slow)
+		pairBest := model.StaticPairingTime(model.PaperPairing(best))
+		pairWorst := model.StaticPairingTime(model.PaperPairing(worst))
+		fmt.Printf("bisection-pairing benchmark estimate: %s -> %.0f s, %s -> %.0f s.\n",
+			best, pairBest, worst, pairWorst)
+	}
+	if cur, ok := m.Predefined(*midplanes); ok && !cur.Equal(best) {
+		fmt.Printf("note: the production scheduler would allocate %s (bisection %d); ask the operators for %s.\n",
+			cur, cur.BisectionBW(), best)
+	}
+}
+
+func nearest(m *bgq.Machine, want int) []int {
+	var out []int
+	for _, s := range m.FeasibleSizes() {
+		if s >= want-4 && s <= want+4 {
+			out = append(out, s)
+		}
+	}
+	if out == nil {
+		out = m.FeasibleSizes()
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+// Topology-explorer: walks through the §5 topologies — hypercube,
+// HyperX, Dragonfly, mesh — computing isoperimetric profiles with the
+// closed-form solvers and validating them against exhaustive search on
+// small instances.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netpart/internal/iso"
+	"netpart/internal/topo"
+	"netpart/internal/torus"
+)
+
+func main() {
+	hypercube()
+	hyperx()
+	dragonfly()
+	mesh()
+}
+
+func hypercube() {
+	fmt.Println("== Hypercube (Pleiades-style), Harper's theorem ==")
+	D := 4
+	g, err := topo.Hypercube(D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q%d: %d vertices, bisection %d\n", D, g.N(), mustInt(iso.HypercubeBisection(D)))
+	fmt.Println(" t  Harper  exhaustive")
+	for t := 1; t <= 8; t++ {
+		h, err := iso.HarperPerimeter(D, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex, _, err := g.MinPerimeter(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2d  %6d  %10.0f\n", t, h, ex)
+	}
+	fmt.Println()
+}
+
+func hyperx() {
+	fmt.Println("== HyperX K4 x K3 (clique product), Lindsey's theorem ==")
+	dims := torus.Shape{4, 3}
+	g, err := topo.CliqueProduct(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("K%s: %d vertices, bisection %d\n", dims, g.N(), mustInt(iso.HyperXBisection(dims)))
+	fmt.Println(" t  Lindsey  exhaustive")
+	for t := 1; t <= 6; t++ {
+		l, err := iso.LindseyPerimeter(dims, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex, _, err := g.MinPerimeter(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2d  %7d  %10.0f\n", t, l, ex)
+	}
+	fmt.Println()
+}
+
+func dragonfly() {
+	fmt.Println("== Dragonfly (Cray XC-style, scaled down), weighted links ==")
+	// Three groups of K4 x K3 with triple-capacity K3 links and
+	// weight-4 global links, under the three global arrangements of
+	// Hastings et al. [17].
+	for _, arr := range []topo.GlobalArrangement{topo.Absolute, topo.Relative, topo.Circulant} {
+		cfg := topo.AriesConfig(3, torus.Shape{4, 3})
+		cfg.Arrangement = arr
+		g, err := topo.Dragonfly(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The weighted small-set expansion at group granularity: how
+		// isolated can a single group be?
+		groupSize := 12
+		set := make([]bool, g.N())
+		for i := 0; i < groupSize; i++ {
+			set[i] = true
+		}
+		cut := g.CutWeight(set)
+		sse, err := g.SmallSetExpansion(4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s arrangement: %2d routers, group cut weight %.0f, h_4 = %.4f\n",
+			arr, g.N(), cut, sse)
+	}
+	fmt.Println()
+}
+
+func mesh() {
+	fmt.Println("== 2D mesh (Ahlswede-Bezrukov), exhaustive ==")
+	g, err := topo.Mesh2D(4, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, set, err := g.Bisection()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4x5 mesh bisection: %.0f (no wrap-around links to help)\n", w)
+	fmt.Print("one optimal side: ")
+	for v, in := range set {
+		if in {
+			fmt.Printf("%d ", v)
+		}
+	}
+	fmt.Println()
+	// Contrast with the 4x5 torus: wrap-around links double the cut.
+	res, err := iso.Bisection(torus.Shape{5, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5x4 torus bisection (cuboid-exact): %d\n", res.Perimeter)
+}
+
+func mustInt(v int, err error) int {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

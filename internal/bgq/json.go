@@ -1,0 +1,60 @@
+package bgq
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"netpart/internal/torus"
+)
+
+// MarshalJSON renders a partition as its geometry string plus derived
+// quantities, so analysis results serialize usefully for tooling.
+func (p Partition) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Geometry    string `json:"geometry"`
+		Midplanes   int    `json:"midplanes"`
+		Nodes       int    `json:"nodes"`
+		NodeShape   string `json:"nodeShape"`
+		BisectionBW int    `json:"bisectionBW"`
+	}{
+		Geometry:    p.String(),
+		Midplanes:   p.Midplanes(),
+		Nodes:       p.Nodes(),
+		NodeShape:   p.NodeShape().String(),
+		BisectionBW: p.BisectionBW(),
+	})
+}
+
+// UnmarshalJSON accepts either the object form produced by MarshalJSON
+// or a bare geometry string ("3x2x2x2").
+func (p *Partition) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		sh, err := torus.ParseShape(s)
+		if err != nil {
+			return err
+		}
+		np, err := NewPartition(sh)
+		if err != nil {
+			return err
+		}
+		*p = np
+		return nil
+	}
+	var obj struct {
+		Geometry string `json:"geometry"`
+	}
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return fmt.Errorf("bgq: partition JSON must be a geometry string or object: %w", err)
+	}
+	sh, err := torus.ParseShape(obj.Geometry)
+	if err != nil {
+		return err
+	}
+	np, err := NewPartition(sh)
+	if err != nil {
+		return err
+	}
+	*p = np
+	return nil
+}

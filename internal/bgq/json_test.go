@@ -1,0 +1,76 @@
+package bgq
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPartitionJSONRoundTrip(t *testing.T) {
+	p := MustPartition(3, 2, 2, 2)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"geometry":"3x2x2x2"`, `"nodes":12288`, `"bisectionBW":2048`, `"nodeShape":"12x8x8x8x2"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("marshaled %s missing %s", data, want)
+		}
+	}
+	var q Partition
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(p) {
+		t.Errorf("round trip: %v != %v", q, p)
+	}
+}
+
+func TestPartitionJSONFromString(t *testing.T) {
+	var p Partition
+	if err := json.Unmarshal([]byte(`"2x2x1x1"`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.BisectionBW() != 512 {
+		t.Errorf("BW = %d", p.BisectionBW())
+	}
+	if err := json.Unmarshal([]byte(`"0x2"`), &p); err == nil {
+		t.Error("invalid geometry should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"geometry":"bogus"}`), &p); err == nil {
+		t.Error("invalid object geometry should fail")
+	}
+	if err := json.Unmarshal([]byte(`42`), &p); err == nil {
+		t.Error("non-string non-object should fail")
+	}
+}
+
+func TestMachineAnalysisJSON(t *testing.T) {
+	// A full machine analysis serializes cleanly (the cmd -json path).
+	jq := Juqueen()
+	type sizeReport struct {
+		Midplanes int       `json:"midplanes"`
+		Best      Partition `json:"best"`
+		Worst     Partition `json:"worst"`
+	}
+	var reports []sizeReport
+	for _, s := range jq.FeasibleSizes() {
+		b, _ := jq.Best(s)
+		w, _ := jq.Worst(s)
+		reports = append(reports, sizeReport{s, b, w})
+	}
+	data, err := json.MarshalIndent(reports, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"7x2x2x2"`) {
+		t.Error("full-machine geometry missing")
+	}
+	var back []sizeReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reports) || !back[3].Best.Equal(reports[3].Best) {
+		t.Error("round trip mismatch")
+	}
+}

@@ -1,0 +1,66 @@
+package bgq
+
+import "fmt"
+
+// Policy selects a partition geometry for an allocation request of a
+// given midplane count — the processor allocation policy whose effect
+// on contention the paper quantifies. Policies are deterministic;
+// schedulers that pick "whatever is free" sit between BestCase and
+// WorstCase, which is exactly the inconsistency §4.3 warns about.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Select returns the geometry the policy allocates for the request,
+	// or an error when the machine cannot satisfy it.
+	Select(m *Machine, midplanes int) (Partition, error)
+}
+
+// PredefinedPolicy allocates from the machine's predefined partition
+// list (Mira's production policy). Requests for sizes not on the list
+// fail.
+type PredefinedPolicy struct{}
+
+// Name implements Policy.
+func (PredefinedPolicy) Name() string { return "predefined" }
+
+// Select implements Policy.
+func (PredefinedPolicy) Select(m *Machine, midplanes int) (Partition, error) {
+	if p, ok := m.Predefined(midplanes); ok {
+		return p, nil
+	}
+	if m.predefined == nil {
+		return Partition{}, fmt.Errorf("bgq: %s has no predefined partition list", m.Name)
+	}
+	return Partition{}, fmt.Errorf("bgq: %s has no predefined %d-midplane partition", m.Name, midplanes)
+}
+
+// BestCasePolicy allocates the geometry with maximal internal
+// bisection bandwidth — the paper's proposed policy.
+type BestCasePolicy struct{}
+
+// Name implements Policy.
+func (BestCasePolicy) Name() string { return "best-case" }
+
+// Select implements Policy.
+func (BestCasePolicy) Select(m *Machine, midplanes int) (Partition, error) {
+	if p, ok := m.Best(midplanes); ok {
+		return p, nil
+	}
+	return Partition{}, fmt.Errorf("bgq: no %d-midplane cuboid fits %s", midplanes, m.Name)
+}
+
+// WorstCasePolicy allocates the geometry with minimal internal
+// bisection bandwidth — the adversarial baseline of the JUQUEEN
+// experiments.
+type WorstCasePolicy struct{}
+
+// Name implements Policy.
+func (WorstCasePolicy) Name() string { return "worst-case" }
+
+// Select implements Policy.
+func (WorstCasePolicy) Select(m *Machine, midplanes int) (Partition, error) {
+	if p, ok := m.Worst(midplanes); ok {
+		return p, nil
+	}
+	return Partition{}, fmt.Errorf("bgq: no %d-midplane cuboid fits %s", midplanes, m.Name)
+}

@@ -1,0 +1,267 @@
+// Package contbound computes lower bounds on the completion time of a
+// communication pattern from cut capacities — the "inevitable
+// contention" analysis of Ballard et al. [7] that the paper's §2
+// builds on. For any vertex set S, all traffic from S to its
+// complement must traverse the directed links leaving S, so
+//
+//	T >= bytes(S -> S̄) / (|E(S, S̄)| * linkCapacity)
+//
+// and symmetrically for inbound traffic. Maximizing over S gives a
+// routing-independent lower bound: no routing scheme, adaptive or
+// otherwise, can beat it. Three searches over S are provided:
+//
+//   - ExactBound enumerates every subset (small graphs; the oracle);
+//   - SlabBound scans axis-aligned slabs of a torus (the cuts behind
+//     the bisection analysis; linear time, any scale);
+//   - WorstSetBound specializes to workloads where every node sends a
+//     fixed volume out of any set containing it, connecting the bound
+//     to the small-set expansion h_t of §2.
+//
+// The gap between these bounds and the routing-aware static model
+// (route.PredictTransferTime) measures how much the *routing* — not
+// the topology — leaves on the table; for the paper's pairing workload
+// under deterministic DOR the gap is exactly 2x (ties all break to the
+// positive direction, using half the cut's directed capacity).
+package contbound
+
+import (
+	"fmt"
+	"math"
+
+	"netpart/internal/graph"
+	"netpart/internal/route"
+	"netpart/internal/torus"
+)
+
+// Result is a lower bound together with the witness cut.
+type Result struct {
+	// Seconds is the lower bound on completion time.
+	Seconds float64
+	// CrossingBytes is the traffic that must cross the witness cut (in
+	// the binding direction).
+	CrossingBytes float64
+	// CutLinks is the directed capacity of the witness cut in links.
+	CutLinks float64
+	// Witness describes the cut (subset mask for ExactBound, slab
+	// description for SlabBound).
+	Witness string
+}
+
+// ExactBound maximizes the cut bound over every vertex subset of size
+// 1..n-1 (small graphs only; the same enumeration limits as
+// graph.MinPerimeter apply). linkCapacity is bytes/sec per direction;
+// edge weights scale capacity.
+func ExactBound(g *graph.Graph, demands []route.Demand, linkCapacity float64) (Result, error) {
+	n := g.N()
+	if n > 24 {
+		return Result{}, fmt.Errorf("contbound: exact search on %d vertices is too large", n)
+	}
+	if linkCapacity <= 0 {
+		return Result{}, fmt.Errorf("contbound: invalid capacity %v", linkCapacity)
+	}
+	best := Result{}
+	set := make([]bool, n)
+	// Enumerate subsets via binary counter (exclude empty and full).
+	for mask := 1; mask < (1<<uint(n))-1; mask++ {
+		for i := 0; i < n; i++ {
+			set[i] = mask&(1<<uint(i)) != 0
+		}
+		cut := g.CutWeight(set)
+		if cut == 0 {
+			continue // disconnected side: any demand across is infeasible anyway
+		}
+		var out, in float64
+		for _, d := range demands {
+			switch {
+			case set[d.Src] && !set[d.Dst]:
+				out += d.Bytes
+			case !set[d.Src] && set[d.Dst]:
+				in += d.Bytes
+			}
+		}
+		for _, bytes := range []float64{out, in} {
+			if t := bytes / (cut * linkCapacity); t > best.Seconds {
+				best = Result{
+					Seconds:       t,
+					CrossingBytes: bytes,
+					CutLinks:      cut,
+					Witness:       fmt.Sprintf("subset mask %b", mask),
+				}
+			}
+		}
+	}
+	return best, nil
+}
+
+// SlabBound maximizes the cut bound over axis-aligned slabs of a
+// torus: for every dimension d, offset o and width w < a_d, the set of
+// vertices whose d-coordinate lies in the cyclic interval [o, o+w).
+// Slabs include the bisecting cuts that determine the partition
+// analysis; the search is O(D * a_d^2 * |demands|)-ish but evaluated
+// in O((D + sum a_d^2) * |demands|) by bucketing demands per
+// dimension.
+func SlabBound(tor *torus.Torus, demands []route.Demand, linkCapacity float64) (Result, error) {
+	if linkCapacity <= 0 {
+		return Result{}, fmt.Errorf("contbound: invalid capacity %v", linkCapacity)
+	}
+	dims := tor.Dims()
+	strides := make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	best := Result{}
+	for d, a := range dims {
+		if a < 2 {
+			continue
+		}
+		// crossing[i][j] = bytes from d-coordinate i to d-coordinate j.
+		crossing := make([][]float64, a)
+		for i := range crossing {
+			crossing[i] = make([]float64, a)
+		}
+		for _, dm := range demands {
+			si := dm.Src / strides[d] % a
+			di := dm.Dst / strides[d] % a
+			crossing[si][di] += dm.Bytes
+		}
+		colVol := float64(tor.NumVertices() / a) // vertices per hyperplane
+		var planes float64                       // directed cut links per boundary
+		if a == 2 {
+			planes = 1 // single physical edge per column
+		} else {
+			planes = 2
+		}
+		for o := 0; o < a; o++ {
+			for w := 1; w < a; w++ {
+				inSlab := func(c int) bool {
+					rel := c - o
+					if rel < 0 {
+						rel += a
+					}
+					return rel < w
+				}
+				var out, in float64
+				for i := 0; i < a; i++ {
+					for j := 0; j < a; j++ {
+						if crossing[i][j] == 0 {
+							continue
+						}
+						switch {
+						case inSlab(i) && !inSlab(j):
+							out += crossing[i][j]
+						case !inSlab(i) && inSlab(j):
+							in += crossing[i][j]
+						}
+					}
+				}
+				cut := planes * colVol
+				for _, bytes := range []float64{out, in} {
+					if t := bytes / (cut * linkCapacity); t > best.Seconds {
+						best = Result{
+							Seconds:       t,
+							CrossingBytes: bytes,
+							CutLinks:      cut,
+							Witness:       fmt.Sprintf("slab dim %d [%d,%d)", d, o, (o+w)%a),
+						}
+					}
+				}
+			}
+		}
+	}
+	return best, nil
+}
+
+// WorstSetBound bounds workloads in which every node must send
+// bytesPerNode to a destination outside any candidate subset S
+// containing it — an adversarial assumption that holds for
+// all-to-all-like patterns and (for isoperimetric witness sets) for
+// antipodal pairings. For a k-regular graph it equals
+//
+//	bytesPerNode / (k * linkCapacity * h_t)
+//
+// where h_t is the small-set expansion of §2 — the identity
+// TestWorstSetBoundMatchesSSE verifies. Exact subset enumeration, so
+// small graphs only.
+func WorstSetBound(g *graph.Graph, t int, bytesPerNode, linkCapacity float64) (Result, error) {
+	if linkCapacity <= 0 || bytesPerNode < 0 {
+		return Result{}, fmt.Errorf("contbound: invalid parameters")
+	}
+	if t < 1 || t > g.N() {
+		return Result{}, fmt.Errorf("contbound: subset bound %d out of range", t)
+	}
+	best := Result{}
+	for size := 1; size <= t; size++ {
+		minPer, set, err := g.MinPerimeter(size)
+		if err != nil {
+			return Result{}, err
+		}
+		if minPer == 0 {
+			continue
+		}
+		if tm := bytesPerNode * float64(size) / (minPer * linkCapacity); tm > best.Seconds {
+			best = Result{
+				Seconds:       tm,
+				CrossingBytes: bytesPerNode * float64(size),
+				CutLinks:      minPer,
+				Witness:       fmt.Sprintf("isoperimetric set of size %d: %v", size, maskString(set)),
+			}
+		}
+	}
+	return best, nil
+}
+
+func maskString(set []bool) string {
+	out := ""
+	for v, in := range set {
+		if in {
+			out += fmt.Sprintf("%d ", v)
+		}
+	}
+	return out
+}
+
+// BisectionPairingBound is the closed-form slab bound for the
+// furthest-node pairing workload on a torus: every node sends
+// roundBytes across the bisecting slab of the longest dimension.
+func BisectionPairingBound(tor *torus.Torus, roundBytes, linkCapacity float64) float64 {
+	dims := tor.Dims()
+	n := float64(tor.NumVertices())
+	best := 0.0
+	for _, a := range dims {
+		if a < 3 {
+			continue
+		}
+		// Half the nodes sit in the slab; all of their flows exit.
+		out := n / 2 * roundBytes
+		cut := 2 * n / float64(a)
+		if t := out / (cut * linkCapacity); t > best {
+			best = t
+		}
+	}
+	if best == 0 && n >= 2 {
+		// Degenerate tori (all dims <= 2): cross the single edge.
+		best = n / 2 * roundBytes / (n / 2 * linkCapacity)
+	}
+	return best
+}
+
+// RoutingGap reports the ratio between the routing-aware static time
+// (bottleneck link under DOR) and the routing-independent lower bound:
+// how much the deterministic routing loses versus the best any routing
+// could do. Returns +Inf when the lower bound is zero.
+func RoutingGap(r *route.Router, demands []route.Demand, linkCapacity float64) (float64, error) {
+	lb, err := SlabBound(r.Torus(), demands, linkCapacity)
+	if err != nil {
+		return 0, err
+	}
+	static := r.PredictTransferTime(demands, linkCapacity)
+	if lb.Seconds == 0 {
+		if static == 0 {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	return static / lb.Seconds, nil
+}

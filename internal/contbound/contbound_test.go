@@ -1,0 +1,227 @@
+package contbound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netpart/internal/graph"
+	"netpart/internal/netsim"
+	"netpart/internal/route"
+	"netpart/internal/topo"
+	"netpart/internal/torus"
+	"netpart/internal/workload"
+)
+
+func TestExactBoundSimpleCut(t *testing.T) {
+	// Two cliques joined by one edge: all cross traffic through 1 link.
+	g := graph.New(6)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			g.AddEdge(i, j, 1)
+			g.AddEdge(i+3, j+3, 1)
+		}
+	}
+	g.AddEdge(2, 3, 1)
+	demands := []route.Demand{{Src: 0, Dst: 4, Bytes: 100}, {Src: 1, Dst: 5, Bytes: 100}}
+	res, err := ExactBound(g, demands, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 bytes over a 1-link cut at 10 B/s: >= 20 s.
+	if res.Seconds != 20 {
+		t.Errorf("bound = %v, want 20", res.Seconds)
+	}
+	if res.CutLinks != 1 || res.CrossingBytes != 200 {
+		t.Errorf("witness %+v", res)
+	}
+}
+
+func TestExactBoundDirectionality(t *testing.T) {
+	// All demands one direction: inbound side of the cut binds equally.
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	res, err := ExactBound(g, []route.Demand{{Src: 0, Dst: 1, Bytes: 50}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds != 50 {
+		t.Errorf("bound = %v", res.Seconds)
+	}
+}
+
+func TestExactBoundErrors(t *testing.T) {
+	g := graph.New(30)
+	if _, err := ExactBound(g, nil, 1); err == nil {
+		t.Error("30 vertices should exceed the exact search limit")
+	}
+	if _, err := ExactBound(graph.New(2), nil, 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestSlabBoundMatchesExactOnSmallTorus(t *testing.T) {
+	// On a ring, slabs are all the connected cuts, so the slab bound
+	// should match the exact bound for ring-respecting demands.
+	tor := torus.MustNew(8)
+	g := topo.FromTorus(tor)
+	r := route.NewRouter(tor)
+	demands := workload.BisectionPairing(r, 64)
+	exact, err := ExactBound(g, demands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, err := SlabBound(tor, demands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Seconds-slab.Seconds) > 1e-12 {
+		t.Errorf("exact %v vs slab %v", exact.Seconds, slab.Seconds)
+	}
+	if slab.Seconds <= 0 {
+		t.Error("slab bound should be positive")
+	}
+}
+
+func TestSlabBoundNeverExceedsExact(t *testing.T) {
+	// Slabs are a subset of all cuts, so slab <= exact, on random
+	// demands.
+	tor := torus.MustNew(4, 4)
+	g := topo.FromTorus(tor)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		demands := workload.RandomPermutation(tor, 10+rng.Float64()*100, rng)
+		exact, err := ExactBound(g, demands, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slab, err := SlabBound(tor, demands, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slab.Seconds > exact.Seconds+1e-9 {
+			t.Errorf("slab %v exceeds exact %v", slab.Seconds, exact.Seconds)
+		}
+	}
+}
+
+// TestBoundIsSoundAgainstSimulator: the routing-independent bound never
+// exceeds the simulated completion time of the actual (DOR-routed,
+// max-min fair) execution.
+func TestBoundIsSoundAgainstSimulator(t *testing.T) {
+	tor := torus.MustNew(8, 4, 2)
+	r := route.NewRouter(tor)
+	rng := rand.New(rand.NewSource(5))
+	patterns := [][]route.Demand{
+		workload.BisectionPairing(r, 1e9),
+		workload.RandomPermutation(tor, 1e9, rng),
+		workload.LongestDimShift(tor, 1e9),
+	}
+	for pi, demands := range patterns {
+		lb, err := SlabBound(tor, demands, 2e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := netsim.New(r.NumLinks(), 2e9)
+		for _, d := range demands {
+			if d.Src == d.Dst {
+				continue
+			}
+			sim.StartFlow(r.Route(d.Src, d.Dst, nil), d.Bytes, 0)
+		}
+		elapsed := sim.RunUntilIdle()
+		if lb.Seconds > elapsed+1e-9 {
+			t.Errorf("pattern %d: bound %v exceeds simulated %v", pi, lb.Seconds, elapsed)
+		}
+	}
+}
+
+// TestPairingRoutingGap: under positive tie-breaking DOR, the pairing
+// workload runs exactly 2x above the routing-independent bound — the
+// deterministic routing uses only one of the two cut planes.
+func TestPairingRoutingGap(t *testing.T) {
+	tor := torus.MustNew(16, 4, 4, 4, 2)
+	r := route.NewRouter(tor)
+	demands := workload.BisectionPairing(r, 2.1472e9)
+	gap, err := RoutingGap(r, demands, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gap-2.0) > 1e-9 {
+		t.Errorf("routing gap = %v, want 2.0", gap)
+	}
+}
+
+func TestBisectionPairingBoundClosedForm(t *testing.T) {
+	tor := torus.MustNew(16, 4, 4, 4, 2)
+	r := route.NewRouter(tor)
+	demands := workload.BisectionPairing(r, 1e9)
+	slab, err := SlabBound(tor, demands, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := BisectionPairingBound(tor, 1e9, 2e9)
+	if math.Abs(slab.Seconds-closed) > 1e-9 {
+		t.Errorf("slab %v vs closed form %v", slab.Seconds, closed)
+	}
+	// Degenerate torus.
+	if b := BisectionPairingBound(torus.MustNew(2, 2), 8, 2); b <= 0 {
+		t.Errorf("degenerate bound %v", b)
+	}
+}
+
+// TestWorstSetBoundMatchesSSE: for a k-regular graph, the worst-set
+// bound equals bytesPerNode / (k * cap * h_t), tying the module to the
+// paper's §2 small-set expansion.
+func TestWorstSetBoundMatchesSSE(t *testing.T) {
+	tor := torus.MustNew(4, 4)
+	g := topo.FromTorus(tor)
+	k, ok := g.IsRegular()
+	if !ok {
+		t.Fatal("torus should be regular")
+	}
+	const bytesPerNode, cap = 1e6, 2e9
+	for _, tt := range []int{1, 2, 4, 8} {
+		bound, err := WorstSetBound(g, tt, bytesPerNode, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := g.SmallSetExpansion(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bytesPerNode / (k * cap * h)
+		if math.Abs(bound.Seconds-want)/want > 1e-9 {
+			t.Errorf("t=%d: bound %v, SSE identity %v", tt, bound.Seconds, want)
+		}
+	}
+}
+
+func TestWorstSetBoundErrors(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	if _, err := WorstSetBound(g, 0, 1, 1); err == nil {
+		t.Error("t=0 should fail")
+	}
+	if _, err := WorstSetBound(g, 1, 1, 0); err == nil {
+		t.Error("bad capacity should fail")
+	}
+	if _, err := WorstSetBound(g, 1, -1, 1); err == nil {
+		t.Error("negative bytes should fail")
+	}
+}
+
+func BenchmarkSlabBoundPairing(b *testing.B) {
+	tor := torus.MustNew(16, 12, 8, 4, 2)
+	r := route.NewRouter(tor)
+	demands := workload.BisectionPairing(r, 2.1472e9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SlabBound(tor, demands, 2e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

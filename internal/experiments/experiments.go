@@ -1,0 +1,305 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation: the partition-analysis tables (1, 2, 5, 6, 7)
+// and bandwidth figures (1, 2, 7) from the exact isoperimetric
+// machinery, the bisection-pairing experiment (Figures 3, 4) through
+// the flow-level network simulator, and the matrix-multiplication
+// experiments (Tables 3, 4; Figures 5, 6) through the calibrated CAPS
+// cost model. Each generator returns structured data plus renderable
+// tables/charts; the per-experiment index lives in DESIGN.md and the
+// measured-vs-paper record in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"netpart/internal/bgq"
+	"netpart/internal/model"
+	"netpart/internal/tabulate"
+)
+
+// Table1 reproduces paper Table 1: Mira rows where the proposed
+// geometry strictly improves the bisection.
+func Table1() tabulate.Table {
+	t := tabulate.Table{
+		Title:   "Table 1: Mira partitions with improved geometries",
+		Headers: []string{"P (nodes)", "Midplanes", "Current", "BW", "Proposed", "Proposed BW"},
+	}
+	mira := bgq.Mira()
+	for _, size := range mira.PredefinedSizes() {
+		cur, _ := mira.Predefined(size)
+		prop, improved := mira.Proposed(size)
+		if !improved {
+			continue
+		}
+		t.AddRow(cur.Nodes(), size, cur.String(), cur.BisectionBW(), prop.String(), prop.BisectionBW())
+	}
+	return t
+}
+
+// Table2 reproduces paper Table 2: JUQUEEN sizes where worst and best
+// geometries differ.
+func Table2() tabulate.Table {
+	t := tabulate.Table{
+		Title:   "Table 2: JUQUEEN best vs worst partitions (differing rows)",
+		Headers: []string{"P (nodes)", "Midplanes", "Worst", "Worst BW", "Best", "Best BW"},
+	}
+	jq := bgq.Juqueen()
+	for _, size := range jq.FeasibleSizes() {
+		worst, _ := jq.Worst(size)
+		best, _ := jq.Best(size)
+		if worst.BisectionBW() == best.BisectionBW() {
+			continue
+		}
+		t.AddRow(worst.Nodes(), size, worst.String(), worst.BisectionBW(), best.String(), best.BisectionBW())
+	}
+	return t
+}
+
+// Table6 reproduces paper Table 6: the full Mira partition list.
+func Table6() tabulate.Table {
+	t := tabulate.Table{
+		Title:   "Table 6: Mira current and proposed partitions (full list)",
+		Headers: []string{"P (nodes)", "Midplanes", "Current", "BW", "New Geometry", "New BW"},
+	}
+	mira := bgq.Mira()
+	for _, size := range mira.PredefinedSizes() {
+		cur, _ := mira.Predefined(size)
+		prop, improved := mira.Proposed(size)
+		ps, pbw := "", ""
+		if improved {
+			ps = prop.String()
+			pbw = fmt.Sprintf("%d", prop.BisectionBW())
+		}
+		t.AddRow(cur.Nodes(), size, cur.String(), cur.BisectionBW(), ps, pbw)
+	}
+	return t
+}
+
+// Table7 reproduces paper Table 7: the full JUQUEEN worst/best list.
+func Table7() tabulate.Table {
+	t := tabulate.Table{
+		Title:   "Table 7: JUQUEEN allocation best and worst cases (full list)",
+		Headers: []string{"P (nodes)", "Midplanes", "Worst", "Worst BW", "Best", "Best BW"},
+	}
+	jq := bgq.Juqueen()
+	for _, size := range jq.FeasibleSizes() {
+		worst, _ := jq.Worst(size)
+		best, _ := jq.Best(size)
+		bs, bbw := "", ""
+		if best.BisectionBW() != worst.BisectionBW() {
+			bs = best.String()
+			bbw = fmt.Sprintf("%d", best.BisectionBW())
+		}
+		t.AddRow(worst.Nodes(), size, worst.String(), worst.BisectionBW(), bs, bbw)
+	}
+	return t
+}
+
+// Table5 reproduces paper Table 5: best-case partitions of JUQUEEN and
+// the hypothetical JUQUEEN-54 and JUQUEEN-48.
+func Table5() tabulate.Table {
+	t := tabulate.Table{
+		Title:   "Table 5: best-case partitions, JUQUEEN vs hypothetical machines",
+		Headers: []string{"P (nodes)", "Midplanes", "JUQUEEN", "J BW", "JUQUEEN-54", "J-54 BW", "JUQUEEN-48", "J-48 BW"},
+	}
+	jq, j54, j48 := bgq.Juqueen(), bgq.Juqueen54(), bgq.Juqueen48()
+	sizes := unionSizes(jq, j54, j48)
+	for _, size := range sizes {
+		cells := []any{size * bgq.MidplaneNodes, size}
+		for _, m := range []*bgq.Machine{jq, j54, j48} {
+			if best, ok := m.Best(size); ok {
+				cells = append(cells, best.String(), best.BisectionBW())
+			} else {
+				cells = append(cells, "", "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+func unionSizes(ms ...*bgq.Machine) []int {
+	seen := map[int]bool{}
+	var sizes []int
+	for _, m := range ms {
+		for _, s := range m.FeasibleSizes() {
+			if !seen[s] {
+				seen[s] = true
+				sizes = append(sizes, s)
+			}
+		}
+	}
+	// insertion sort (short list)
+	for i := 1; i < len(sizes); i++ {
+		for j := i; j > 0 && sizes[j] < sizes[j-1]; j-- {
+			sizes[j], sizes[j-1] = sizes[j-1], sizes[j]
+		}
+	}
+	return sizes
+}
+
+// BWFigure is a normalized-bisection-bandwidth series figure
+// (Figures 1, 2 and 7).
+type BWFigure struct {
+	Title  string
+	X      []int // midplane counts
+	Series []tabulate.Series
+}
+
+// Table renders the figure data as a table.
+func (f BWFigure) Table() tabulate.Table {
+	t := tabulate.Table{Title: f.Title, Headers: []string{"Midplanes"}}
+	for _, s := range f.Series {
+		t.Headers = append(t.Headers, s.Label)
+	}
+	for i, x := range f.X {
+		cells := []any{x}
+		for _, s := range f.Series {
+			if math.IsNaN(s.Y[i]) {
+				cells = append(cells, "")
+			} else {
+				cells = append(cells, int(s.Y[i]))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Chart renders the figure as an ASCII chart.
+func (f BWFigure) Chart() tabulate.Chart {
+	c := tabulate.Chart{Title: f.Title, XLabel: "midplanes", YLabel: "normalized bisection bandwidth", Series: f.Series}
+	for _, x := range f.X {
+		c.X = append(c.X, fmt.Sprintf("%d", x))
+	}
+	return c
+}
+
+// Figure1 reproduces paper Figure 1: Mira's current vs proposed
+// normalized bisection bandwidth over the predefined partition sizes.
+func Figure1() BWFigure {
+	mira := bgq.Mira()
+	f := BWFigure{Title: "Figure 1: Mira normalized bisection bandwidth"}
+	cur := tabulate.Series{Label: "current"}
+	prop := tabulate.Series{Label: "proposed"}
+	for _, size := range mira.PredefinedSizes() {
+		c, _ := mira.Predefined(size)
+		f.X = append(f.X, size)
+		cur.Y = append(cur.Y, float64(c.BisectionBW()))
+		if p, ok := mira.Proposed(size); ok {
+			prop.Y = append(prop.Y, float64(p.BisectionBW()))
+		} else {
+			prop.Y = append(prop.Y, float64(c.BisectionBW()))
+		}
+	}
+	f.Series = []tabulate.Series{cur, prop}
+	return f
+}
+
+// Figure2 reproduces paper Figure 2: JUQUEEN best vs worst-case
+// bandwidth across all feasible sizes; ring-shaped sizes are the
+// 'spiking drops'.
+func Figure2() BWFigure {
+	jq := bgq.Juqueen()
+	f := BWFigure{Title: "Figure 2: JUQUEEN best/worst normalized bisection bandwidth"}
+	worst := tabulate.Series{Label: "worst-case"}
+	best := tabulate.Series{Label: "best-case"}
+	for _, size := range jq.FeasibleSizes() {
+		w, _ := jq.Worst(size)
+		b, _ := jq.Best(size)
+		f.X = append(f.X, size)
+		worst.Y = append(worst.Y, float64(w.BisectionBW()))
+		best.Y = append(best.Y, float64(b.BisectionBW()))
+	}
+	f.Series = []tabulate.Series{worst, best}
+	return f
+}
+
+// Figure7 reproduces paper Figure 7: best-case bandwidth of JUQUEEN
+// vs the hypothetical JUQUEEN-48 and JUQUEEN-54 (missing sizes NaN).
+func Figure7() BWFigure {
+	machines := []*bgq.Machine{bgq.Juqueen(), bgq.Juqueen48(), bgq.Juqueen54()}
+	f := BWFigure{Title: "Figure 7: JUQUEEN vs hypothetical machines (best-case BW)"}
+	f.X = unionSizes(machines...)
+	for _, m := range machines {
+		s := tabulate.Series{Label: m.Name}
+		for _, size := range f.X {
+			if best, ok := m.Best(size); ok {
+				s.Y = append(s.Y, float64(best.BisectionBW()))
+			} else {
+				s.Y = append(s.Y, math.NaN())
+			}
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Table3 reproduces paper Table 3: the matmul experiment parameters.
+func Table3() tabulate.Table {
+	t := tabulate.Table{
+		Title:   "Table 3: matrix multiplication experiment parameters (Mira)",
+		Headers: []string{"P (nodes)", "Midplanes", "MPI Ranks", "Max active cores", "Avg cores per proc", "Matrix dim"},
+	}
+	mira := bgq.Mira()
+	for _, mp := range []int{4, 8, 16, 24} {
+		p, _ := mira.Predefined(mp)
+		cfg := MatmulTable3Config(mp, p)
+		t.AddRow(p.Nodes(), mp, cfg.Ranks, cfg.MaxActiveCores(),
+			fmt.Sprintf("%.2f", cfg.RanksPerNode()), cfg.N)
+	}
+	return t
+}
+
+// MatmulTable3Config returns the paper's Table 3 configuration for a
+// Mira midplane count and partition (4/8/16 midplanes share one
+// configuration; 24 midplanes uses 7^6 ranks on a smaller matrix).
+func MatmulTable3Config(midplanes int, p bgq.Partition) model.MatmulConfig {
+	switch midplanes {
+	case 4, 8, 16:
+		return model.MatmulConfig{N: 32928, Ranks: 31213, BFSSteps: 4, Partition: p}
+	case 24:
+		return model.MatmulConfig{N: 21952, Ranks: 117649, BFSSteps: 6, Partition: p}
+	default:
+		panic(fmt.Sprintf("experiments: Table 3 has no %d-midplane row", midplanes))
+	}
+}
+
+// Table4 reproduces paper Table 4: the strong-scaling parameters.
+func Table4() tabulate.Table {
+	t := tabulate.Table{
+		Title:   "Table 4: strong scaling experiment parameters (Mira, n=9408)",
+		Headers: []string{"P (nodes)", "Midplanes", "MPI Ranks", "Max active cores", "Avg cores per proc", "Current BW", "Proposed BW"},
+	}
+	for _, mp := range []int{2, 4, 8} {
+		cur, prop := Table4Partitions(mp)
+		cfg := Table4Config(mp, cur)
+		t.AddRow(cur.Nodes(), mp, cfg.Ranks, cfg.MaxActiveCores(),
+			fmt.Sprintf("%.2f", cfg.RanksPerNode()), cur.BisectionBW(), prop.BisectionBW())
+	}
+	return t
+}
+
+// Table4Partitions returns the current and proposed geometries of the
+// strong-scaling experiment (the 2-midplane row has a single possible
+// cuboid).
+func Table4Partitions(midplanes int) (current, proposed bgq.Partition) {
+	switch midplanes {
+	case 2:
+		p := bgq.MustPartition(2, 1, 1, 1)
+		return p, p
+	case 4:
+		return bgq.MustPartition(4, 1, 1, 1), bgq.MustPartition(2, 2, 1, 1)
+	case 8:
+		return bgq.MustPartition(4, 2, 1, 1), bgq.MustPartition(2, 2, 2, 1)
+	default:
+		panic(fmt.Sprintf("experiments: Table 4 has no %d-midplane row", midplanes))
+	}
+}
+
+// Table4Config returns the CAPS configuration of a Table 4 row: the
+// rank count doubles with the midplane count (2401, 4802, 9604).
+func Table4Config(midplanes int, p bgq.Partition) model.MatmulConfig {
+	return model.MatmulConfig{N: 9408, Ranks: 2401 * midplanes / 2, BFSSteps: 4, Partition: p}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"netpart/internal/bgq"
+	"netpart/internal/model"
+)
+
+// TestFullRoundSimulationAtScale validates the one-round-scaled fast
+// path against simulating all 26 rounds end-to-end at the real
+// 4-midplane scale (2048 nodes, 2048 flows per round). The fluid
+// model's rounds are identical, so the two must agree to floating
+// point; this is the justification for Figure 3/4's fast path.
+func TestFullRoundSimulationAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("26 full rounds at 2048 nodes")
+	}
+	for _, p := range []bgq.Partition{
+		bgq.MustPartition(4, 1, 1, 1),
+		bgq.MustPartition(2, 2, 1, 1),
+	} {
+		cfg := model.PaperPairing(p)
+		fast, err := SimulatePairing(cfg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := SimulatePairing(cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast-full)/full > 1e-9 {
+			t.Errorf("%v: fast %v vs full %v", p, fast, full)
+		}
+	}
+}

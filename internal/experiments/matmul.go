@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"netpart/internal/bgq"
+	"netpart/internal/model"
+	"netpart/internal/tabulate"
+)
+
+// MatmulPoint is one execution of the §4.2 matmul experiment.
+type MatmulPoint struct {
+	Midplanes  int
+	Partition  bgq.Partition
+	Config     model.MatmulConfig
+	Prediction model.Prediction
+}
+
+// MatmulFigure pairs current and proposed executions per midplane
+// count (Figure 5 and Figure 6).
+type MatmulFigure struct {
+	Title   string
+	PointsA []MatmulPoint // current
+	PointsB []MatmulPoint // proposed
+}
+
+// Figure5 reproduces paper Figure 5: Strassen-Winograd communication
+// times on Mira's current vs proposed partitions, via the calibrated
+// CAPS cost model.
+func Figure5() (MatmulFigure, error) {
+	mira := bgq.Mira()
+	fig := MatmulFigure{Title: "Figure 5: Mira matrix multiplication communication time"}
+	for _, mp := range []int{4, 8, 16, 24} {
+		cur, ok := mira.Predefined(mp)
+		if !ok {
+			return fig, fmt.Errorf("experiments: no predefined %d-midplane partition", mp)
+		}
+		prop, ok := mira.Proposed(mp)
+		if !ok {
+			return fig, fmt.Errorf("experiments: no proposed %d-midplane partition", mp)
+		}
+		pa, err := matmulPoint(mp, cur, MatmulTable3Config(mp, cur))
+		if err != nil {
+			return fig, err
+		}
+		pb, err := matmulPoint(mp, prop, MatmulTable3Config(mp, prop))
+		if err != nil {
+			return fig, err
+		}
+		fig.PointsA = append(fig.PointsA, pa)
+		fig.PointsB = append(fig.PointsB, pb)
+	}
+	return fig, nil
+}
+
+// Figure6 reproduces paper Figure 6: the strong-scaling experiment
+// (n=9408) on 2, 4 and 8 midplanes.
+func Figure6() (MatmulFigure, error) {
+	fig := MatmulFigure{Title: "Figure 6: Mira strong scaling (n=9408)"}
+	for _, mp := range []int{2, 4, 8} {
+		cur, prop := Table4Partitions(mp)
+		pa, err := matmulPoint(mp, cur, Table4Config(mp, cur))
+		if err != nil {
+			return fig, err
+		}
+		pb, err := matmulPoint(mp, prop, Table4Config(mp, prop))
+		if err != nil {
+			return fig, err
+		}
+		fig.PointsA = append(fig.PointsA, pa)
+		fig.PointsB = append(fig.PointsB, pb)
+	}
+	return fig, nil
+}
+
+func matmulPoint(mp int, p bgq.Partition, cfg model.MatmulConfig) (MatmulPoint, error) {
+	pred, err := model.PredictMatmul(cfg)
+	if err != nil {
+		return MatmulPoint{}, err
+	}
+	return MatmulPoint{Midplanes: mp, Partition: p, Config: cfg, Prediction: pred}, nil
+}
+
+// Table renders the matmul figure with computation and communication
+// components.
+func (f MatmulFigure) Table() tabulate.Table {
+	t := tabulate.Table{
+		Title: f.Title,
+		Headers: []string{"Midplanes",
+			"current", "comp (s)", "comm (s)",
+			"proposed", "comp (s)", "comm (s)",
+			"comm speedup"},
+	}
+	for i := range f.PointsA {
+		a, b := f.PointsA[i], f.PointsB[i]
+		t.AddRow(a.Midplanes,
+			a.Partition.String(), a.Prediction.ComputeSec, a.Prediction.CommSec,
+			b.Partition.String(), b.Prediction.ComputeSec, b.Prediction.CommSec,
+			fmt.Sprintf("%.2f", a.Prediction.CommSec/b.Prediction.CommSec))
+	}
+	return t
+}
+
+// Chart renders communication times as ASCII bars.
+func (f MatmulFigure) Chart() tabulate.Chart {
+	c := tabulate.Chart{Title: f.Title, XLabel: "midplanes", YLabel: "communication time (s)"}
+	sa := tabulate.Series{Label: "comm (current)"}
+	sb := tabulate.Series{Label: "comm (proposed)"}
+	sc := tabulate.Series{Label: "computation"}
+	for i := range f.PointsA {
+		c.X = append(c.X, fmt.Sprintf("%d", f.PointsA[i].Midplanes))
+		sa.Y = append(sa.Y, f.PointsA[i].Prediction.CommSec)
+		sb.Y = append(sb.Y, f.PointsB[i].Prediction.CommSec)
+		sc.Y = append(sc.Y, f.PointsA[i].Prediction.ComputeSec)
+	}
+	c.Series = []tabulate.Series{sc, sa, sb}
+	return c
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"netpart/internal/tabulate"
+	"netpart/internal/topo"
+)
+
+// OtherTopologies applies the paper's §5 "application to other
+// topologies" discussion: for each non-Blue-Gene system the paper
+// names, the solver its topology admits and the resulting full-network
+// bisection bandwidth.
+func OtherTopologies() tabulate.Table {
+	t := tabulate.Table{
+		Title:   "§5: isoperimetric analysis of other network topologies",
+		Headers: []string{"system", "topology", "nodes", "bisection (links)", "method"},
+	}
+	for _, m := range topo.OtherMachines() {
+		b, err := m.Bisection()
+		bs := tabulate.FormatFloat(b)
+		if err != nil {
+			bs = "n/a: " + err.Error()
+		}
+		t.AddRow(m.Name, m.Topology, m.NumNodes(), bs, m.Method)
+	}
+	return t
+}

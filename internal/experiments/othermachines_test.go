@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOtherTopologies(t *testing.T) {
+	tab := OtherTopologies()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := tab.Render()
+	for _, want := range []string{"K computer", "Titan", "Pleiades", "HyperX", "Harper", "Lindsey", "weighted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Every row has a numeric bisection.
+	for _, r := range tab.Rows {
+		if strings.HasPrefix(r[3], "n/a") {
+			t.Errorf("%s: no bisection computed", r[0])
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"netpart/internal/bgq"
+	"netpart/internal/model"
+	"netpart/internal/netsim"
+	"netpart/internal/route"
+	"netpart/internal/tabulate"
+	"netpart/internal/torus"
+	"netpart/internal/workload"
+)
+
+// PairingPoint is one bar of Figures 3/4: a partition geometry and its
+// simulated and statically predicted completion times.
+type PairingPoint struct {
+	Midplanes   int
+	Partition   bgq.Partition
+	BisectionBW int
+	SimSec      float64 // flow-level simulation
+	StaticSec   float64 // closed-form bottleneck model
+}
+
+// PairingFigure holds one experiment series pair (current/worst vs
+// proposed/best).
+type PairingFigure struct {
+	Title   string
+	SeriesA string // label of the first series (current or worst-case)
+	SeriesB string // label of the second series (proposed or best-case)
+	PointsA []PairingPoint
+	PointsB []PairingPoint
+}
+
+// SimulatePairing runs the §4.1 bisection-pairing benchmark on a
+// partition through the flow-level simulator and returns the total
+// completion time for the counted rounds. Rounds are identical in the
+// fluid model (every pair exchanges the same volume and the pattern is
+// symmetric), so one round is simulated with full event resolution and
+// scaled; set fullRounds to simulate every round end-to-end instead.
+func SimulatePairing(cfg model.PairingConfig, fullRounds bool) (float64, error) {
+	shape := cfg.Partition.NodeShape()
+	tor, err := torus.New(shape...)
+	if err != nil {
+		return 0, err
+	}
+	r := route.NewRouter(tor)
+	demands := workload.BisectionPairing(r, cfg.RoundBytes())
+	rounds := cfg.Rounds
+	simRounds := 1
+	if fullRounds {
+		simRounds = rounds
+	}
+	sim := netsim.New(r.NumLinks(), model.LinkBytesPerSec)
+	total := 0.0
+	buf := make([]int, 0, 64)
+	for round := 0; round < simRounds; round++ {
+		for _, d := range demands {
+			buf = r.Route(d.Src, d.Dst, buf[:0])
+			sim.StartFlow(buf, d.Bytes, 0)
+		}
+		total += sim.RunUntilIdle()
+	}
+	if !fullRounds {
+		total *= float64(rounds)
+	}
+	return total, nil
+}
+
+// pairingPoint measures one partition.
+func pairingPoint(p bgq.Partition, fullRounds bool) (PairingPoint, error) {
+	cfg := model.PaperPairing(p)
+	sim, err := SimulatePairing(cfg, fullRounds)
+	if err != nil {
+		return PairingPoint{}, err
+	}
+	return PairingPoint{
+		Midplanes:   p.Midplanes(),
+		Partition:   p,
+		BisectionBW: p.BisectionBW(),
+		SimSec:      sim,
+		StaticSec:   model.StaticPairingTime(cfg),
+	}, nil
+}
+
+// Figure3 reproduces paper Figure 3: the bisection-pairing experiment
+// on Mira's current vs proposed partitions at 4, 8, 16 and 24
+// midplanes.
+func Figure3(fullRounds bool) (PairingFigure, error) {
+	mira := bgq.Mira()
+	fig := PairingFigure{
+		Title:   "Figure 3: Mira bisection pairing (26 rounds, 16 x 0.1342 GB per round)",
+		SeriesA: "current",
+		SeriesB: "proposed",
+	}
+	for _, mp := range []int{4, 8, 16, 24} {
+		cur, ok := mira.Predefined(mp)
+		if !ok {
+			return fig, fmt.Errorf("experiments: Mira has no predefined %d-midplane partition", mp)
+		}
+		prop, ok := mira.Proposed(mp)
+		if !ok {
+			return fig, fmt.Errorf("experiments: Mira has no proposed %d-midplane partition", mp)
+		}
+		pa, err := pairingPoint(cur, fullRounds)
+		if err != nil {
+			return fig, err
+		}
+		pb, err := pairingPoint(prop, fullRounds)
+		if err != nil {
+			return fig, err
+		}
+		fig.PointsA = append(fig.PointsA, pa)
+		fig.PointsB = append(fig.PointsB, pb)
+	}
+	return fig, nil
+}
+
+// Figure4 reproduces paper Figure 4: the bisection-pairing experiment
+// on JUQUEEN's worst vs best partitions at 4, 6, 8, 12 and 16
+// midplanes.
+func Figure4(fullRounds bool) (PairingFigure, error) {
+	jq := bgq.Juqueen()
+	fig := PairingFigure{
+		Title:   "Figure 4: JUQUEEN bisection pairing (26 rounds, 16 x 0.1342 GB per round)",
+		SeriesA: "worst-case",
+		SeriesB: "best-case",
+	}
+	for _, mp := range []int{4, 6, 8, 12, 16} {
+		worst, ok := jq.Worst(mp)
+		if !ok {
+			return fig, fmt.Errorf("experiments: JUQUEEN has no %d-midplane partition", mp)
+		}
+		best, _ := jq.Best(mp)
+		pa, err := pairingPoint(worst, fullRounds)
+		if err != nil {
+			return fig, err
+		}
+		pb, err := pairingPoint(best, fullRounds)
+		if err != nil {
+			return fig, err
+		}
+		fig.PointsA = append(fig.PointsA, pa)
+		fig.PointsB = append(fig.PointsB, pb)
+	}
+	return fig, nil
+}
+
+// Table renders the pairing figure as a table with simulated and
+// static predictions side by side.
+func (f PairingFigure) Table() tabulate.Table {
+	t := tabulate.Table{
+		Title: f.Title,
+		Headers: []string{"Midplanes",
+			f.SeriesA, f.SeriesA + " BW", f.SeriesA + " sim (s)", f.SeriesA + " static (s)",
+			f.SeriesB, f.SeriesB + " BW", f.SeriesB + " sim (s)", f.SeriesB + " static (s)",
+			"speedup"},
+	}
+	for i := range f.PointsA {
+		a, b := f.PointsA[i], f.PointsB[i]
+		t.AddRow(a.Midplanes,
+			a.Partition.String(), a.BisectionBW, a.SimSec, a.StaticSec,
+			b.Partition.String(), b.BisectionBW, b.SimSec, b.StaticSec,
+			fmt.Sprintf("%.2f", a.SimSec/b.SimSec))
+	}
+	return t
+}
+
+// Chart renders the pairing figure as ASCII bars.
+func (f PairingFigure) Chart() tabulate.Chart {
+	c := tabulate.Chart{Title: f.Title, XLabel: "midplanes", YLabel: "time (s)"}
+	sa := tabulate.Series{Label: f.SeriesA}
+	sb := tabulate.Series{Label: f.SeriesB}
+	for i := range f.PointsA {
+		c.X = append(c.X, fmt.Sprintf("%d", f.PointsA[i].Midplanes))
+		sa.Y = append(sa.Y, f.PointsA[i].SimSec)
+		sb.Y = append(sb.Y, f.PointsB[i].SimSec)
+	}
+	c.Series = []tabulate.Series{sa, sb}
+	return c
+}
+
+// MaxSpeedup returns the largest observed A/B time ratio.
+func (f PairingFigure) MaxSpeedup() float64 {
+	best := 0.0
+	for i := range f.PointsA {
+		if r := f.PointsA[i].SimSec / f.PointsB[i].SimSec; r > best && !math.IsNaN(r) {
+			best = r
+		}
+	}
+	return best
+}

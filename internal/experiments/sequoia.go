@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"netpart/internal/bgq"
+	"netpart/internal/tabulate"
+)
+
+// SequoiaAnalysis applies the paper's method to Sequoia (§5): the
+// machine the authors analyzed but could not benchmark (it moved to
+// classified work in 2013). Like JUQUEEN, its scheduler appears to
+// permit all geometries the network allows, so both optimal and
+// sub-optimal partitions exist for many sizes. The table lists every
+// size where they differ — the improvement the analysis predicts would
+// be available.
+func SequoiaAnalysis() tabulate.Table {
+	t := tabulate.Table{
+		Title: "Sequoia (4x4x4x3 midplanes): sizes where allocation geometry matters",
+		Headers: []string{"P (nodes)", "Midplanes", "Worst", "Worst BW", "Best", "Best BW",
+			"potential speedup"},
+	}
+	seq := bgq.Sequoia()
+	for _, size := range seq.FeasibleSizes() {
+		worst, _ := seq.Worst(size)
+		best, _ := seq.Best(size)
+		if worst.BisectionBW() == best.BisectionBW() {
+			continue
+		}
+		ratio := float64(best.BisectionBW()) / float64(worst.BisectionBW())
+		t.AddRow(worst.Nodes(), size, worst.String(), worst.BisectionBW(),
+			best.String(), best.BisectionBW(), tabulate.FormatFloat(ratio)+"x")
+	}
+	return t
+}

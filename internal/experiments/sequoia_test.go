@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"netpart/internal/bgq"
+)
+
+func TestSequoiaAnalysis(t *testing.T) {
+	tab := SequoiaAnalysis()
+	if len(tab.Rows) == 0 {
+		t.Fatal("Sequoia should have improvable sizes")
+	}
+	// Sanity-check the 4-midplane row: worst 4x1x1x1 (256), best
+	// 2x2x1x1 (512), 2x speedup — the same structure as Mira/JUQUEEN.
+	found := false
+	for _, r := range tab.Rows {
+		if r[1] == "4" {
+			found = true
+			want := []string{"2048", "4", "4x1x1x1", "256", "2x2x1x1", "512", "2x"}
+			for i := range want {
+				if r[i] != want[i] {
+					t.Errorf("4-midplane row col %d = %q, want %q", i, r[i], want[i])
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("missing 4-midplane row")
+	}
+	// Every listed speedup is strictly greater than 1 and at most the
+	// best/worst bisection ratio cap seen on BGQ sizes (3x at most for
+	// this grid).
+	seq := bgq.Sequoia()
+	for _, r := range tab.Rows {
+		if !strings.HasSuffix(r[6], "x") {
+			t.Errorf("speedup cell %q", r[6])
+		}
+	}
+	// The analysis covers all feasible sizes where best != worst.
+	count := 0
+	for _, size := range seq.FeasibleSizes() {
+		best, _ := seq.Best(size)
+		worst, _ := seq.Worst(size)
+		if best.BisectionBW() != worst.BisectionBW() {
+			count++
+		}
+	}
+	if count != len(tab.Rows) {
+		t.Errorf("table has %d rows, expected %d improvable sizes", len(tab.Rows), count)
+	}
+}

@@ -1,0 +1,63 @@
+package iso_test
+
+import (
+	"testing"
+
+	"netpart/internal/iso"
+	"netpart/internal/topo"
+	"netpart/internal/torus"
+)
+
+// TestConjectureOnSmallTori scans a family of small tori for
+// counterexamples to the paper's open conjecture. None should exist;
+// sizes where no cuboid has the right volume are reported but are not
+// counterexamples (the conjecture concerns the bound, and the bound
+// must still hold).
+func TestConjectureOnSmallTori(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration")
+	}
+	families := []torus.Shape{
+		{3, 3}, {4, 3}, {4, 4}, {5, 3}, {5, 4}, {6, 3}, {3, 3, 2}, {4, 2, 2},
+	}
+	for _, dims := range families {
+		g := topo.FromTorus(torus.MustNew(dims...))
+		reports, err := iso.VerifyConjecture(dims, g)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if len(reports) != dims.Volume()/2 {
+			t.Errorf("%v: %d reports", dims, len(reports))
+		}
+		for _, r := range reports {
+			if r.BoundValid && r.GlobalBest < r.Bound-1e-6 {
+				t.Errorf("%v t=%d: BOUND VIOLATION (conjecture counterexample): global %v < bound %v",
+					dims, r.T, r.GlobalBest, r.Bound)
+			}
+			// At attainable sizes the best cuboid achieves the bound,
+			// so it must be globally optimal.
+			if r.Attainable && r.CuboidBest >= 0 && !r.CuboidOptimal {
+				t.Errorf("%v t=%d: attaining cuboid %d beaten by a subset at %v",
+					dims, r.T, r.CuboidBest, r.GlobalBest)
+			}
+			// At other sizes non-cuboid subsets may win; record it.
+			if !r.Attainable && r.CuboidBest >= 0 && !r.CuboidOptimal {
+				t.Logf("%v t=%d: non-cuboid optimum %v beats best cuboid %d (bound %v holds)",
+					dims, r.T, r.GlobalBest, r.CuboidBest, r.Bound)
+			}
+		}
+	}
+}
+
+func TestVerifyConjectureErrors(t *testing.T) {
+	if _, err := iso.VerifyConjecture(torus.Shape{0}, nil); err == nil {
+		t.Error("invalid dims should fail")
+	}
+	if _, err := iso.VerifyConjecture(torus.Shape{4, 4}, nil); err == nil {
+		t.Error("nil oracle should fail")
+	}
+	g := topo.FromTorus(torus.MustNew(3, 3))
+	if _, err := iso.VerifyConjecture(torus.Shape{4, 4}, g); err == nil {
+		t.Error("oracle size mismatch should fail")
+	}
+}

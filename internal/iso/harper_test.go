@@ -1,0 +1,112 @@
+package iso_test
+
+import (
+	"testing"
+
+	"netpart/internal/iso"
+	"netpart/internal/topo"
+)
+
+func TestHarperMatchesBruteForce(t *testing.T) {
+	for D := 0; D <= 4; D++ {
+		g, err := topo.Hypercube(D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 << uint(D)
+		for tt := 0; tt <= n/2; tt++ {
+			want := 0.0
+			if tt > 0 {
+				w, _, err := g.MinPerimeter(tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = w
+			}
+			got, err := iso.HarperPerimeter(D, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(got) != want {
+				t.Errorf("Q%d t=%d: Harper %d, brute force %v", D, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestHarperSetAchievesPerimeter(t *testing.T) {
+	D := 5
+	g, err := topo.Hypercube(D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt <= 1<<uint(D); tt++ {
+		set, err := iso.HarperSet(D, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := make([]bool, 1<<uint(D))
+		for _, v := range set {
+			mask[v] = true
+		}
+		cut := g.CutWeight(mask)
+		want, _ := iso.HarperPerimeter(D, tt)
+		if cut != float64(want) {
+			t.Errorf("Q%d t=%d: initial segment cut %v != Harper value %d", D, tt, cut, want)
+		}
+	}
+}
+
+func TestHarperComplementSymmetry(t *testing.T) {
+	// Perimeter of S equals perimeter of its complement.
+	D := 6
+	n := 1 << uint(D)
+	for tt := 0; tt <= n; tt++ {
+		a, _ := iso.HarperPerimeter(D, tt)
+		b, _ := iso.HarperPerimeter(D, n-tt)
+		// Initial segments of t and n-t are complements up to relabeling
+		// (the order reverses under bit complement), so the minima agree.
+		if a != b {
+			t.Errorf("Q%d: Harper(%d)=%d != Harper(%d)=%d", D, tt, a, n-tt, b)
+		}
+	}
+}
+
+func TestHypercubeBisection(t *testing.T) {
+	for D := 1; D <= 10; D++ {
+		got, err := iso.HypercubeBisection(D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1<<uint(D-1) {
+			t.Errorf("Q%d bisection = %d, want %d", D, got, 1<<uint(D-1))
+		}
+	}
+}
+
+func TestHarperErrors(t *testing.T) {
+	if _, err := iso.HarperPerimeter(-1, 0); err == nil {
+		t.Error("negative D should fail")
+	}
+	if _, err := iso.HarperPerimeter(3, 9); err == nil {
+		t.Error("t > 2^D should fail")
+	}
+	if _, err := iso.HarperPerimeter(63, 1); err == nil {
+		t.Error("D too large should fail")
+	}
+	if _, err := iso.HypercubeBisection(0); err == nil {
+		t.Error("D=0 bisection should fail")
+	}
+	if _, err := iso.HarperSet(3, 99); err == nil {
+		t.Error("HarperSet out of range should fail")
+	}
+}
+
+func BenchmarkHarperPerimeter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := iso.HarperPerimeter(40, (1<<40)/3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package iso_test
+
+import (
+	"math"
+	"testing"
+
+	"netpart/internal/iso"
+	"netpart/internal/topo"
+	"netpart/internal/torus"
+)
+
+func TestLindseyMatchesBruteForce(t *testing.T) {
+	products := []torus.Shape{
+		{3, 2}, {4, 2}, {4, 3}, {3, 3}, {5, 3}, {2, 2, 2}, {4, 2, 2}, {3, 3, 2}, {16, 1},
+	}
+	for _, dims := range products {
+		g, err := topo.CliqueProduct(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol := dims.Volume()
+		for tt := 0; tt <= vol/2; tt++ {
+			want := 0.0
+			if tt > 0 {
+				w, _, err := g.MinPerimeter(tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = w
+			}
+			got, err := iso.LindseyPerimeter(dims, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(got) != want {
+				t.Errorf("K%v t=%d: Lindsey %d, brute force %v", dims, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestLindseyOrderingMatters(t *testing.T) {
+	// Filling the largest clique first is the optimum. For K3 x K2 at
+	// t=3 the descending-size order fills a K3 copy (cut 3); the
+	// ascending order yields a K2 copy plus one vertex (cut 5).
+	desc, err := iso.CliqueSegmentPerimeter(torus.Shape{2, 3}, 3) // outermost=K2 => K3 fastest
+	if err != nil {
+		t.Fatal(err)
+	}
+	asc, err := iso.CliqueSegmentPerimeter(torus.Shape{3, 2}, 3) // K2 fastest
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc != 3 || asc != 5 {
+		t.Errorf("segment cuts: descending-size %d (want 3), ascending %d (want 5)", desc, asc)
+	}
+	lp, err := iso.LindseyPerimeter(torus.Shape{3, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp != 3 {
+		t.Errorf("LindseyPerimeter = %d, want 3", lp)
+	}
+}
+
+func TestLindseyEdgeCases(t *testing.T) {
+	if v, err := iso.LindseyPerimeter(torus.Shape{4, 3}, 0); err != nil || v != 0 {
+		t.Errorf("t=0: %d, %v", v, err)
+	}
+	if v, err := iso.LindseyPerimeter(torus.Shape{4, 3}, 12); err != nil || v != 0 {
+		t.Errorf("t=|V|: %d, %v", v, err)
+	}
+	if _, err := iso.LindseyPerimeter(torus.Shape{4, 3}, 13); err == nil {
+		t.Error("t > |V| should fail")
+	}
+	if _, err := iso.LindseyPerimeter(torus.Shape{0, 3}, 1); err == nil {
+		t.Error("invalid dims should fail")
+	}
+	// Single clique: K5, t=2: cut = 2*3 = 6.
+	if v, _ := iso.LindseyPerimeter(torus.Shape{5}, 2); v != 6 {
+		t.Errorf("K5 t=2 = %d, want 6", v)
+	}
+}
+
+func TestHyperXBisectionMatchesBruteForce(t *testing.T) {
+	products := []torus.Shape{{4, 2}, {3, 3}, {4, 3}, {4, 4}, {2, 2, 2}, {3, 2, 2}}
+	for _, dims := range products {
+		g, err := topo.CliqueProduct(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := g.Bisection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := iso.HyperXBisection(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(got) != want {
+			t.Errorf("HyperX %v bisection = %d, brute force %v", dims, got, want)
+		}
+	}
+}
+
+func TestHyperXBisectionKnown(t *testing.T) {
+	// K8 x K4: halving K4 cuts 2*2*(32/4) = 32; halving K8 cuts
+	// 4*4*(32/8) = 64. Bisection = 32.
+	got, err := iso.HyperXBisection(torus.Shape{8, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Errorf("K8xK4 bisection = %d, want 32", got)
+	}
+	if _, err := iso.HyperXBisection(torus.Shape{1, 1}); err == nil {
+		t.Error("trivial product should fail")
+	}
+}
+
+func TestWeightedCliqueProductReducesToUnweighted(t *testing.T) {
+	dims := torus.Shape{4, 3, 2}
+	for tt := 0; tt <= dims.Volume(); tt++ {
+		w, err := iso.WeightedCliqueProductPerimeter(dims, iso.Uniform(3), tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := iso.CliqueSegmentPerimeter(dims, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(w-float64(u)) > 1e-12 {
+			t.Errorf("t=%d: weighted %v != unweighted %d", tt, w, u)
+		}
+	}
+}
+
+func TestWeightedCliqueSegmentAgainstGraph(t *testing.T) {
+	// Aries-like group: K4 x K3 with K3 links carrying weight 3.
+	dims := torus.Shape{4, 3}
+	weights := iso.Weights{1, 3}
+	g, err := topo.WeightedCliqueProduct(dims, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The initial lex segment (last coordinate fastest) of size t has a
+	// cut we can compute both ways.
+	for tt := 0; tt <= 12; tt++ {
+		set := make([]bool, 12)
+		for i := 0; i < tt; i++ {
+			set[i] = true
+		}
+		want := g.CutWeight(set)
+		got, err := iso.WeightedCliqueProductPerimeter(dims, weights, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("t=%d: recursion %v != graph %v", tt, got, want)
+		}
+	}
+}
+
+func TestWeightedCuboidPerimeter(t *testing.T) {
+	dims := torus.Shape{6, 4, 2}
+	// Unit weights must agree with the unweighted closed form.
+	tor := torus.MustNew(dims...)
+	lens := torus.Shape{3, 4, 1}
+	got, err := iso.WeightedCuboidPerimeter(dims, iso.Uniform(3), lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(tor.CuboidPerimeter(torus.NewCuboid(nil, lens)))
+	if got != want {
+		t.Errorf("uniform weighted = %v, unweighted %v", got, want)
+	}
+	// Doubling one dimension's weight adds exactly that dimension's
+	// contribution again.
+	w2 := iso.Weights{2, 1, 1}
+	got2, err := iso.WeightedCuboidPerimeter(dims, w2, lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim0Contribution := float64(2 * lens.Volume() / lens[0])
+	if math.Abs(got2-(want+dim0Contribution)) > 1e-9 {
+		t.Errorf("weighted = %v, want %v", got2, want+dim0Contribution)
+	}
+	// Errors.
+	if _, err := iso.WeightedCuboidPerimeter(dims, iso.Uniform(2), lens); err == nil {
+		t.Error("weight rank mismatch should fail")
+	}
+	if _, err := iso.WeightedCuboidPerimeter(dims, iso.Weights{1, -1, 1}, lens); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := iso.WeightedCuboidPerimeter(dims, iso.Uniform(3), torus.Shape{9, 1, 1}); err == nil {
+		t.Error("oversized cuboid should fail")
+	}
+}
+
+func TestMinWeightedCuboidPerimeter(t *testing.T) {
+	// In a 4x4 torus with dim-0 links 10x more expensive, the optimal
+	// volume-4 cuboid avoids cutting dimension 0: lens [4,1] (covering
+	// dim 0) has weighted cut 0*10 + 2*4 = 8; lens [1,4] costs
+	// 2*4*10 = 80; [2,2] costs 2*2*10 + 2*2 = 44.
+	lens, per, err := iso.MinWeightedCuboidPerimeter(torus.Shape{4, 4}, iso.Weights{10, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per != 8 {
+		t.Errorf("min weighted perimeter = %v (%v), want 8", per, lens)
+	}
+	if !lens.Equal(torus.Shape{4, 1}) {
+		t.Errorf("optimal lens = %v, want 4x1", lens)
+	}
+}
+
+func BenchmarkLindseyPerimeter(b *testing.B) {
+	dims := torus.Shape{16, 6} // Aries group shape
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := iso.LindseyPerimeter(dims, 37); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package mapping implements topology-aware task mapping — the
+// orthogonal contention-mitigation technique the paper's introduction
+// contrasts with partition-geometry optimization (cf. Bhatele et al.
+// [10]). Given an application communication pattern (ranks and the
+// byte volumes they exchange) and a partition's torus, a Mapper
+// assigns ranks to nodes; the quality of a mapping is evaluated with
+// the same machinery as the rest of the repository: hop-bytes and
+// bottleneck link load under dimension-ordered routing.
+//
+// The package exists to make the paper's point quantitative: mapping
+// reshuffles *which* traffic crosses the bisection, but the bisection
+// itself is fixed by the partition geometry — for bisection-saturating
+// workloads the best mapping on a bad geometry still loses to a
+// trivial mapping on a good one (TestMappingCannotBeatGeometry).
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netpart/internal/route"
+	"netpart/internal/torus"
+)
+
+// AppGraph is an application communication pattern: Volumes[i][j]
+// bytes flow from rank i to rank j over the run.
+type AppGraph struct {
+	Ranks   int
+	Volumes map[[2]int]float64
+}
+
+// NewAppGraph creates an empty pattern.
+func NewAppGraph(ranks int) *AppGraph {
+	return &AppGraph{Ranks: ranks, Volumes: make(map[[2]int]float64)}
+}
+
+// Add accumulates traffic from rank a to rank b.
+func (g *AppGraph) Add(a, b int, bytes float64) {
+	if a < 0 || a >= g.Ranks || b < 0 || b >= g.Ranks {
+		panic(fmt.Sprintf("mapping: rank pair (%d,%d) out of range", a, b))
+	}
+	if a == b || bytes <= 0 {
+		return
+	}
+	g.Volumes[[2]int{a, b}] += bytes
+}
+
+// TotalBytes returns the pattern volume.
+func (g *AppGraph) TotalBytes() float64 {
+	t := 0.0
+	for _, v := range g.Volumes {
+		t += v
+	}
+	return t
+}
+
+// Ring builds the ring pattern: rank i sends bytes to rank (i+1) mod n.
+func Ring(ranks int, bytes float64) *AppGraph {
+	g := NewAppGraph(ranks)
+	for i := 0; i < ranks; i++ {
+		g.Add(i, (i+1)%ranks, bytes)
+	}
+	return g
+}
+
+// Halo3D builds a 3D nearest-neighbour stencil pattern over a
+// rx x ry x rz rank grid.
+func Halo3D(rx, ry, rz int, bytes float64) *AppGraph {
+	g := NewAppGraph(rx * ry * rz)
+	idx := func(x, y, z int) int {
+		return (x*ry+y)*rz + z
+	}
+	for x := 0; x < rx; x++ {
+		for y := 0; y < ry; y++ {
+			for z := 0; z < rz; z++ {
+				me := idx(x, y, z)
+				g.Add(me, idx((x+1)%rx, y, z), bytes)
+				g.Add(me, idx((x-1+rx)%rx, y, z), bytes)
+				g.Add(me, idx(x, (y+1)%ry, z), bytes)
+				g.Add(me, idx(x, (y-1+ry)%ry, z), bytes)
+				g.Add(me, idx(x, y, (z+1)%rz), bytes)
+				g.Add(me, idx(x, y, (z-1+rz)%rz), bytes)
+			}
+		}
+	}
+	return g
+}
+
+// Transpose builds the all-pairs transpose pattern of a 2D FFT-like
+// phase over a square rank grid: rank (i,j) sends to rank (j,i).
+func Transpose(side int, bytes float64) *AppGraph {
+	g := NewAppGraph(side * side)
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			if i != j {
+				g.Add(i*side+j, j*side+i, bytes)
+			}
+		}
+	}
+	return g
+}
+
+// Mapper assigns application ranks to torus nodes (injectively).
+type Mapper interface {
+	// Name identifies the mapper in reports.
+	Name() string
+	// Map returns a rank->node assignment for the torus; len(result)
+	// equals the app's rank count and entries are distinct nodes.
+	Map(app *AppGraph, tor *torus.Torus) ([]int, error)
+}
+
+// Linear assigns rank i to node i — the default MPI rank order.
+type Linear struct{}
+
+// Name implements Mapper.
+func (Linear) Name() string { return "linear" }
+
+// Map implements Mapper.
+func (Linear) Map(app *AppGraph, tor *torus.Torus) ([]int, error) {
+	if app.Ranks > tor.NumVertices() {
+		return nil, fmt.Errorf("mapping: %d ranks exceed %d nodes", app.Ranks, tor.NumVertices())
+	}
+	m := make([]int, app.Ranks)
+	for i := range m {
+		m[i] = i
+	}
+	return m, nil
+}
+
+// Random shuffles ranks over nodes with a fixed seed (a destructive
+// baseline: it maximizes average hop distance).
+type Random struct{ Seed int64 }
+
+// Name implements Mapper.
+func (r Random) Name() string { return "random" }
+
+// Map implements Mapper.
+func (r Random) Map(app *AppGraph, tor *torus.Torus) ([]int, error) {
+	if app.Ranks > tor.NumVertices() {
+		return nil, fmt.Errorf("mapping: %d ranks exceed %d nodes", app.Ranks, tor.NumVertices())
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	perm := rng.Perm(tor.NumVertices())
+	return perm[:app.Ranks], nil
+}
+
+// Greedy places heavy-traffic rank pairs close together: ranks are
+// processed in order of total traffic; each is placed on the free node
+// minimizing hop-bytes to its already-placed peers (a standard greedy
+// task-mapping heuristic).
+type Greedy struct{}
+
+// Name implements Mapper.
+func (Greedy) Name() string { return "greedy" }
+
+// Map implements Mapper.
+func (Greedy) Map(app *AppGraph, tor *torus.Torus) ([]int, error) {
+	n := tor.NumVertices()
+	if app.Ranks > n {
+		return nil, fmt.Errorf("mapping: %d ranks exceed %d nodes", app.Ranks, n)
+	}
+	r := route.NewRouter(tor)
+
+	// Order ranks by total traffic, heaviest first.
+	weight := make([]float64, app.Ranks)
+	for pair, v := range app.Volumes {
+		weight[pair[0]] += v
+		weight[pair[1]] += v
+	}
+	order := make([]int, app.Ranks)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weight[order[a]] > weight[order[b]] })
+
+	// Adjacency for placed-peer lookups.
+	adj := make([]map[int]float64, app.Ranks)
+	for i := range adj {
+		adj[i] = make(map[int]float64)
+	}
+	for pair, v := range app.Volumes {
+		adj[pair[0]][pair[1]] += v
+		adj[pair[1]][pair[0]] += v
+	}
+
+	assignment := make([]int, app.Ranks)
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	usedNode := make([]bool, n)
+	for _, rank := range order {
+		bestNode, bestCost := -1, 0.0
+		for node := 0; node < n; node++ {
+			if usedNode[node] {
+				continue
+			}
+			cost := 0.0
+			for peer, v := range adj[rank] {
+				if pn := assignment[peer]; pn >= 0 {
+					cost += v * float64(r.HopCount(node, pn))
+				}
+			}
+			if bestNode < 0 || cost < bestCost {
+				bestNode, bestCost = node, cost
+			}
+		}
+		assignment[rank] = bestNode
+		usedNode[bestNode] = true
+	}
+	return assignment, nil
+}
+
+// Quality summarizes a mapping's network footprint.
+type Quality struct {
+	Mapper string
+	// HopBytes is the sum over messages of bytes times hop count.
+	HopBytes float64
+	// BottleneckBytes is the load of the most loaded directed link
+	// under DOR routing — the static completion-time driver.
+	BottleneckBytes float64
+	// AvgHops is traffic-weighted mean hop distance.
+	AvgHops float64
+}
+
+// Evaluate computes the quality of a mapping on a torus.
+func Evaluate(name string, app *AppGraph, tor *torus.Torus, assignment []int) (Quality, error) {
+	if len(assignment) != app.Ranks {
+		return Quality{}, fmt.Errorf("mapping: assignment covers %d of %d ranks", len(assignment), app.Ranks)
+	}
+	seen := make(map[int]bool, len(assignment))
+	for _, node := range assignment {
+		if node < 0 || node >= tor.NumVertices() {
+			return Quality{}, fmt.Errorf("mapping: node %d out of range", node)
+		}
+		if seen[node] {
+			return Quality{}, fmt.Errorf("mapping: node %d assigned twice", node)
+		}
+		seen[node] = true
+	}
+	r := route.NewRouter(tor)
+	demands := make([]route.Demand, 0, len(app.Volumes))
+	hopBytes := 0.0
+	for pair, v := range app.Volumes {
+		src, dst := assignment[pair[0]], assignment[pair[1]]
+		demands = append(demands, route.Demand{Src: src, Dst: dst, Bytes: v})
+		hopBytes += v * float64(r.HopCount(src, dst))
+	}
+	maxLoad, _ := route.MaxLoad(r.LoadMap(demands))
+	q := Quality{Mapper: name, HopBytes: hopBytes, BottleneckBytes: maxLoad}
+	if total := app.TotalBytes(); total > 0 {
+		q.AvgHops = hopBytes / total
+	}
+	return q, nil
+}
+
+// Compare maps the app with each mapper and returns the qualities in
+// mapper order.
+func Compare(app *AppGraph, tor *torus.Torus, mappers ...Mapper) ([]Quality, error) {
+	out := make([]Quality, 0, len(mappers))
+	for _, m := range mappers {
+		asg, err := m.Map(app, tor)
+		if err != nil {
+			return nil, err
+		}
+		q, err := Evaluate(m.Name(), app, tor, asg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

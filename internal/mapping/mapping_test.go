@@ -1,0 +1,189 @@
+package mapping
+
+import (
+	"testing"
+
+	"netpart/internal/bgq"
+	"netpart/internal/route"
+	"netpart/internal/torus"
+	"netpart/internal/workload"
+)
+
+func TestAppGraphBasics(t *testing.T) {
+	g := NewAppGraph(4)
+	g.Add(0, 1, 100)
+	g.Add(0, 1, 50)
+	g.Add(2, 2, 10) // self traffic ignored
+	g.Add(1, 0, 25)
+	if g.TotalBytes() != 175 {
+		t.Errorf("total = %v", g.TotalBytes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range rank should panic")
+		}
+	}()
+	g.Add(0, 9, 1)
+}
+
+func TestRingPattern(t *testing.T) {
+	g := Ring(5, 10)
+	if len(g.Volumes) != 5 || g.TotalBytes() != 50 {
+		t.Errorf("ring: %d pairs, %v bytes", len(g.Volumes), g.TotalBytes())
+	}
+}
+
+func TestHalo3DPattern(t *testing.T) {
+	g := Halo3D(2, 2, 2, 1)
+	// Each of the 8 ranks has 6 neighbour sends, but on a 2-wide grid
+	// the +1 and -1 neighbours coincide, merging volumes: 3 distinct
+	// targets per rank.
+	if len(g.Volumes) != 8*3 {
+		t.Errorf("halo pairs = %d, want 24", len(g.Volumes))
+	}
+	if g.TotalBytes() != 48 {
+		t.Errorf("halo volume = %v, want 48", g.TotalBytes())
+	}
+}
+
+func TestTransposePattern(t *testing.T) {
+	g := Transpose(3, 2)
+	if len(g.Volumes) != 6 || g.TotalBytes() != 12 {
+		t.Errorf("transpose: %d pairs, %v bytes", len(g.Volumes), g.TotalBytes())
+	}
+}
+
+func TestMappersProduceValidAssignments(t *testing.T) {
+	tor := torus.MustNew(4, 4, 2)
+	app := Halo3D(2, 2, 2, 100)
+	for _, m := range []Mapper{Linear{}, Random{Seed: 1}, Greedy{}} {
+		asg, err := m.Map(app, tor)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if _, err := Evaluate(m.Name(), app, tor, asg); err != nil {
+			t.Errorf("%s: invalid assignment: %v", m.Name(), err)
+		}
+	}
+	// Too many ranks.
+	big := Ring(100, 1)
+	for _, m := range []Mapper{Linear{}, Random{}, Greedy{}} {
+		if _, err := m.Map(big, tor); err == nil {
+			t.Errorf("%s: oversubscription should fail", m.Name())
+		}
+	}
+}
+
+func TestGreedyBeatsRandomOnHalo(t *testing.T) {
+	tor := torus.MustNew(4, 4, 4)
+	app := Halo3D(4, 4, 4, 100)
+	qs, err := Compare(app, tor, Greedy{}, Random{Seed: 7}, Linear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, random := qs[0], qs[1]
+	if greedy.HopBytes >= random.HopBytes {
+		t.Errorf("greedy hop-bytes %v should beat random %v", greedy.HopBytes, random.HopBytes)
+	}
+	if greedy.AvgHops >= random.AvgHops {
+		t.Errorf("greedy avg hops %v should beat random %v", greedy.AvgHops, random.AvgHops)
+	}
+}
+
+func TestLinearIsOptimalForMatchedHalo(t *testing.T) {
+	// When the app grid matches the torus exactly, the linear mapping
+	// is contention-free: every message is one hop.
+	tor := torus.MustNew(4, 4, 2)
+	app := Halo3D(4, 4, 2, 100)
+	asg, err := Linear{}.Map(app, tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Evaluate("linear", app, tor, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.AvgHops != 1 {
+		t.Errorf("matched halo avg hops = %v, want 1", q.AvgHops)
+	}
+}
+
+func TestEvaluateRejectsBadAssignments(t *testing.T) {
+	tor := torus.MustNew(4, 2)
+	app := Ring(4, 1)
+	if _, err := Evaluate("x", app, tor, []int{0, 1}); err == nil {
+		t.Error("short assignment should fail")
+	}
+	if _, err := Evaluate("x", app, tor, []int{0, 1, 1, 2}); err == nil {
+		t.Error("duplicate node should fail")
+	}
+	if _, err := Evaluate("x", app, tor, []int{0, 1, 2, 99}); err == nil {
+		t.Error("out-of-range node should fail")
+	}
+}
+
+// TestMappingCannotBeatGeometry quantifies the paper's framing: for
+// the bisection-saturating pairing workload, even an idealized mapping
+// on the worst 4-midplane geometry cannot reach the performance a
+// trivial mapping gets on the proposed geometry.
+func TestMappingCannotBeatGeometry(t *testing.T) {
+	worst := bgq.MustPartition(4, 1, 1, 1)
+	best := bgq.MustPartition(2, 2, 1, 1)
+	torWorst := torus.MustNew(worst.NodeShape()...)
+	torBest := torus.MustNew(best.NodeShape()...)
+
+	// The pairing workload as an app graph: every node exchanges with
+	// one partner; the partner sets are what the benchmark fixes, so a
+	// mapper may only relabel which node hosts which rank — i.e. it can
+	// pick ANY perfect matching. The most mapping-friendly view is the
+	// one where the matching itself is free; then the best any mapping
+	// can do is bounded below by the bisection: half the ranks must
+	// talk across it when the workload demands distance (here we take
+	// the furthest-node matching as given, per the benchmark).
+	rWorst := route.NewRouter(torWorst)
+	demandsWorst := workload.BisectionPairing(rWorst, 1)
+	appWorst := NewAppGraph(torWorst.NumVertices())
+	for _, d := range demandsWorst {
+		appWorst.Add(d.Src, d.Dst, d.Bytes)
+	}
+	qs, err := Compare(appWorst, torWorst, Linear{}, Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestOnWorst := qs[0].BottleneckBytes
+	for _, q := range qs {
+		if q.BottleneckBytes < bestOnWorst {
+			bestOnWorst = q.BottleneckBytes
+		}
+	}
+
+	rBest := route.NewRouter(torBest)
+	demandsBest := workload.BisectionPairing(rBest, 1)
+	appBest := NewAppGraph(torBest.NumVertices())
+	for _, d := range demandsBest {
+		appBest.Add(d.Src, d.Dst, d.Bytes)
+	}
+	asg, err := Linear{}.Map(appBest, torBest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qBest, err := Evaluate("linear", appBest, torBest, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestOnWorst <= qBest.BottleneckBytes {
+		t.Errorf("mapping on the bad geometry (bottleneck %v) should not beat the good geometry (%v)",
+			bestOnWorst, qBest.BottleneckBytes)
+	}
+}
+
+func BenchmarkGreedyMapping(b *testing.B) {
+	tor := torus.MustNew(4, 4, 4)
+	app := Halo3D(4, 4, 4, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Greedy{}).Map(app, tor); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package matrix provides dense row-major float64 matrices with the
+// operations the Strassen-Winograd implementation needs: views
+// (submatrices without copying), element-wise add/subtract, classical
+// multiplication, and comparison utilities. The layout separates
+// logical dimensions from the storage stride so quadrant views are
+// zero-copy — the property Strassen's recursion relies on.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major view: element (i, j) lives at
+// data[i*stride + j]. A Matrix may be a view into a larger parent;
+// mutations through a view are visible in the parent.
+type Matrix struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// New allocates a zeroed Rows x Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Stride: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps row-major data (length rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("matrix: %d elements for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Stride: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+
+// View returns the r x c submatrix starting at (i0, j0), sharing
+// storage with m.
+func (m *Matrix) View(i0, j0, r, c int) *Matrix {
+	if i0 < 0 || j0 < 0 || r < 0 || c < 0 || i0+r > m.Rows || j0+c > m.Cols {
+		panic(fmt.Sprintf("matrix: view (%d,%d,%d,%d) out of %dx%d", i0, j0, r, c, m.Rows, m.Cols))
+	}
+	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[i0*m.Stride+j0:]}
+}
+
+// Quadrants splits an even-dimensioned square matrix into its four
+// quadrant views (11, 12, 21, 22).
+func (m *Matrix) Quadrants() (a11, a12, a21, a22 *Matrix) {
+	if m.Rows != m.Cols || m.Rows%2 != 0 {
+		panic(fmt.Sprintf("matrix: quadrants of %dx%d", m.Rows, m.Cols))
+	}
+	h := m.Rows / 2
+	return m.View(0, 0, h, h), m.View(0, h, h, h), m.View(h, 0, h, h), m.View(h, h, h, h)
+}
+
+// Clone returns a compact copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(c.Data[i*c.Stride:i*c.Stride+m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return c
+}
+
+// CopyFrom copies src (same dimensions) into m.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("matrix: copy %dx%d from %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Data[i*m.Stride:i*m.Stride+m.Cols], src.Data[i*src.Stride:i*src.Stride+src.Cols])
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// FillRandom fills with uniform values in [-1, 1).
+func (m *Matrix) FillRandom(rng *rand.Rand) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = 2*rng.Float64() - 1
+		}
+	}
+}
+
+// Add sets dst = a + b (all same dimensions; dst may alias a or b).
+func Add(dst, a, b *Matrix) {
+	checkSame(dst, a, b)
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		x := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		y := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		for j := range d {
+			d[j] = x[j] + y[j]
+		}
+	}
+}
+
+// Sub sets dst = a - b.
+func Sub(dst, a, b *Matrix) {
+	checkSame(dst, a, b)
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		x := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		y := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		for j := range d {
+			d[j] = x[j] - y[j]
+		}
+	}
+}
+
+// AddInto sets dst += a.
+func AddInto(dst, a *Matrix) {
+	checkSame(dst, a, a)
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		x := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		for j := range d {
+			d[j] += x[j]
+		}
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] *= s
+		}
+	}
+}
+
+func checkSame(ms ...*Matrix) {
+	r, c := ms[0].Rows, ms[0].Cols
+	for _, m := range ms[1:] {
+		if m.Rows != r || m.Cols != c {
+			panic(fmt.Sprintf("matrix: dimension mismatch %dx%d vs %dx%d", r, c, m.Rows, m.Cols))
+		}
+	}
+}
+
+// Mul sets dst = a * b with the classical algorithm (ikj loop order
+// for cache-friendly row access). dst must not alias a or b.
+func Mul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: mul %dx%d * %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		for j := range d {
+			d[j] = 0
+		}
+		for k := 0; k < a.Cols; k++ {
+			aik := a.Data[i*a.Stride+k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j, bv := range brow {
+				d[j] += aik * bv
+			}
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	checkSame(a, b)
+	maxD := 0.0
+	for i := 0; i < a.Rows; i++ {
+		x := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		y := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		for j := range x {
+			if d := math.Abs(x[j] - y[j]); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}
+
+// EqualWithin reports whether all elements agree within tol.
+func EqualWithin(a, b *Matrix, tol float64) bool {
+	return MaxAbsDiff(a, b) <= tol
+}
+
+// Flatten returns the matrix contents as a fresh compact row-major
+// slice (for message payloads).
+func (m *Matrix) Flatten() []float64 {
+	out := make([]float64, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out[i*m.Cols:(i+1)*m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return out
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("matrix %dx%d", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%8.3f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

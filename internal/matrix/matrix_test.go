@@ -1,0 +1,218 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	m := New(3, 4)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 || m.At(0, 0) != 0 {
+		t.Error("set/get")
+	}
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 {
+		t.Errorf("shape %+v", m)
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, d)
+	if m.At(1, 0) != 4 {
+		t.Error("layout")
+	}
+	m.Set(0, 0, 9)
+	if d[0] != 9 {
+		t.Error("FromSlice should not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad length should panic")
+		}
+	}()
+	FromSlice(2, 2, d)
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	m := New(4, 4)
+	v := m.View(1, 1, 2, 2)
+	v.Set(0, 0, 5)
+	if m.At(1, 1) != 5 {
+		t.Error("view not aliased")
+	}
+	if v.Stride != 4 {
+		t.Errorf("view stride %d", v.Stride)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized view should panic")
+		}
+	}()
+	m.View(2, 2, 3, 3)
+}
+
+func TestQuadrants(t *testing.T) {
+	m := New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	q11, q12, q21, q22 := m.Quadrants()
+	if q11.At(0, 0) != 0 || q12.At(0, 0) != 2 || q21.At(0, 0) != 20 || q22.At(1, 1) != 33 {
+		t.Error("quadrant layout")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd quadrants should panic")
+		}
+	}()
+	New(3, 3).Quadrants()
+}
+
+func TestCloneAndCopy(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 4)
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.At(0, 0) != 0 {
+		t.Error("clone aliased")
+	}
+	n := New(2, 3)
+	n.CopyFrom(m)
+	if n.At(1, 2) != 4 {
+		t.Error("copy")
+	}
+	// Copy from a strided view.
+	big := New(4, 4)
+	big.Fill(3)
+	v := big.View(1, 1, 2, 3)
+	n.CopyFrom(v)
+	if n.At(0, 0) != 3 {
+		t.Error("copy from view")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{10, 20, 30, 40})
+	d := New(2, 2)
+	Add(d, a, b)
+	if d.At(1, 1) != 44 {
+		t.Error("add")
+	}
+	Sub(d, b, a)
+	if d.At(0, 0) != 9 {
+		t.Error("sub")
+	}
+	AddInto(d, a)
+	if d.At(0, 0) != 10 {
+		t.Error("addinto")
+	}
+	d.Scale(0.5)
+	if d.At(0, 0) != 5 {
+		t.Error("scale")
+	}
+	// Aliasing allowed for element-wise ops.
+	Add(a, a, a)
+	if a.At(1, 1) != 8 {
+		t.Error("aliased add")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := New(2, 2)
+	Mul(c, a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !EqualWithin(c, want, 0) {
+		t.Errorf("mul:\n%v", c)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(5, 5)
+	a.FillRandom(rng)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	c := New(5, 5)
+	Mul(c, a, id)
+	if !EqualWithin(c, a, 1e-15) {
+		t.Error("A*I != A")
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	Mul(New(2, 2), New(2, 3), New(2, 2))
+}
+
+func TestMulAssociativityQuick(t *testing.T) {
+	// (A*B)*C == A*(B*C) within tolerance, exercising views too.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a, b, c := New(n, n), New(n, n), New(n, n)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		c.FillRandom(rng)
+		ab, bc, l, r := New(n, n), New(n, n), New(n, n), New(n, n)
+		Mul(ab, a, b)
+		Mul(l, ab, c)
+		Mul(bc, b, c)
+		Mul(r, a, bc)
+		return EqualWithin(l, r, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	m := New(4, 4)
+	m.Set(1, 1, 5)
+	v := m.View(1, 1, 2, 2)
+	f := v.Flatten()
+	if len(f) != 4 || f[0] != 5 {
+		t.Errorf("flatten %v", f)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{1, 2.5, 3})
+	if MaxAbsDiff(a, b) != 0.5 {
+		t.Error("maxabsdiff")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(2, 2).String(); s == "" {
+		t.Error("small string")
+	}
+	if s := New(100, 100).String(); s != "matrix 100x100" {
+		t.Errorf("big string %q", s)
+	}
+}
+
+func BenchmarkClassicalMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y, z := New(128, 128), New(128, 128), New(128, 128)
+	x.FillRandom(rng)
+	y.FillRandom(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(z, x, y)
+	}
+}

@@ -1,0 +1,93 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives: Scatter, Scan and ReduceScatter, rounding
+// out the set a CAPS-style dense linear algebra code touches.
+const (
+	tagScatter = collTagBase + 16 + iota
+	tagScan
+	tagReduceScatter
+)
+
+// Scatter distributes root's blocks: rank i receives blocks[i]
+// (blocks is consulted only at root). Linear algorithm.
+func (c *Comm) Scatter(root int, blocks [][]float64) []float64 {
+	p := c.Size()
+	me := c.Rank()
+	c.checkPeer(root, false)
+	if me == root {
+		if len(blocks) != p {
+			panic(fmt.Sprintf("mpi: Scatter needs %d blocks, got %d", p, len(blocks)))
+		}
+		for i := 0; i < p; i++ {
+			if i == root {
+				continue
+			}
+			c.Send(i, tagScatter, append([]float64(nil), blocks[i]...), float64(8*len(blocks[i])))
+		}
+		return append([]float64(nil), blocks[root]...)
+	}
+	data, _ := c.Recv(root, tagScatter)
+	blk, ok := data.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("mpi: Scatter expects []float64 payload, got %T", data))
+	}
+	return blk
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives
+// op(buf_0, ..., buf_i). Linear-chain algorithm (the dependency is
+// inherently sequential).
+func (c *Comm) Scan(buf []float64, op ReduceOp) []float64 {
+	p := c.Size()
+	me := c.Rank()
+	acc := append([]float64(nil), buf...)
+	if me > 0 {
+		data, _ := c.Recv(me-1, tagScan)
+		prev, ok := data.([]float64)
+		if !ok {
+			panic(fmt.Sprintf("mpi: Scan expects []float64 payload, got %T", data))
+		}
+		if len(prev) != len(acc) {
+			panic(fmt.Sprintf("mpi: Scan length mismatch %d vs %d", len(prev), len(acc)))
+		}
+		// acc = prev op buf, preserving order: accumulate prev into a
+		// copy of itself then add ours.
+		tmp := append([]float64(nil), prev...)
+		op(tmp, acc)
+		acc = tmp
+	}
+	if me+1 < p {
+		c.Send(me+1, tagScan, append([]float64(nil), acc...), float64(8*len(acc)))
+	}
+	return acc
+}
+
+// ReduceScatter reduces blocks element-wise across ranks and scatters
+// the result: rank i receives op-combination of every rank's
+// blocks[i]. Implemented as pairwise exchange-and-accumulate over
+// p-1 steps.
+func (c *Comm) ReduceScatter(blocks [][]float64, op ReduceOp) []float64 {
+	p := c.Size()
+	me := c.Rank()
+	if len(blocks) != p {
+		panic(fmt.Sprintf("mpi: ReduceScatter needs %d blocks, got %d", p, len(blocks)))
+	}
+	acc := append([]float64(nil), blocks[me]...)
+	for step := 1; step < p; step++ {
+		dst := (me + step) % p
+		src := (me - step + p) % p
+		blk := blocks[dst]
+		data, _ := c.Sendrecv(dst, tagReduceScatter, append([]float64(nil), blk...), float64(8*len(blk)), src, tagReduceScatter)
+		recv, ok := data.([]float64)
+		if !ok {
+			panic(fmt.Sprintf("mpi: ReduceScatter expects []float64 payload, got %T", data))
+		}
+		if len(recv) != len(acc) {
+			panic(fmt.Sprintf("mpi: ReduceScatter length mismatch %d vs %d", len(recv), len(acc)))
+		}
+		op(acc, recv)
+	}
+	return acc
+}

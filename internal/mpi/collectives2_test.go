@@ -1,0 +1,114 @@
+package mpi
+
+import (
+	"testing"
+
+	"netpart/internal/torus"
+)
+
+func TestScatter(t *testing.T) {
+	cfg := Config{Topology: torus.MustNew(4)}
+	_, err := Run(cfg, func(c *Comm) {
+		var blocks [][]float64
+		if c.Rank() == 2 {
+			blocks = [][]float64{{0}, {10}, {20}, {30}}
+		}
+		mine := c.Scatter(2, blocks)
+		if len(mine) != 1 || mine[0] != float64(10*c.Rank()) {
+			t.Errorf("rank %d got %v", c.Rank(), mine)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterWrongBlockCount(t *testing.T) {
+	cfg := Config{Topology: torus.MustNew(2)}
+	_, err := Run(cfg, func(c *Comm) {
+		var blocks [][]float64
+		if c.Rank() == 0 {
+			blocks = [][]float64{{1}} // too few
+		}
+		c.Scatter(0, blocks)
+	})
+	if err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	cfg := Config{Topology: torus.MustNew(8), Ranks: 5}
+	_, err := Run(cfg, func(c *Comm) {
+		mine := []float64{float64(c.Rank() + 1)} // 1..5
+		pre := c.Scan(mine, SumOp)
+		want := float64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+		if pre[0] != want {
+			t.Errorf("rank %d scan = %v, want %v", c.Rank(), pre[0], want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanSingleRank(t *testing.T) {
+	cfg := Config{Topology: torus.MustNew(2), Ranks: 1}
+	_, err := Run(cfg, func(c *Comm) {
+		out := c.Scan([]float64{7}, SumOp)
+		if out[0] != 7 {
+			t.Errorf("scan = %v", out)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	cfg := Config{Topology: torus.MustNew(4)}
+	_, err := Run(cfg, func(c *Comm) {
+		// Rank r contributes blocks[i] = [r*10 + i].
+		blocks := make([][]float64, 4)
+		for i := range blocks {
+			blocks[i] = []float64{float64(10*c.Rank() + i)}
+		}
+		out := c.ReduceScatter(blocks, SumOp)
+		// out = sum over r of (10r + me) = 10*(0+1+2+3) + 4*me.
+		want := float64(60 + 4*c.Rank())
+		if len(out) != 1 || out[0] != want {
+			t.Errorf("rank %d reduce-scatter = %v, want %v", c.Rank(), out, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterMatchesReduceThenScatter(t *testing.T) {
+	cfg := Config{Topology: torus.MustNew(4)}
+	_, err := Run(cfg, func(c *Comm) {
+		blocks := make([][]float64, 4)
+		for i := range blocks {
+			blocks[i] = []float64{float64(c.Rank()*i + i + 1), float64(c.Rank() - i)}
+		}
+		direct := c.ReduceScatter(blocks, SumOp)
+
+		// Reference: allreduce the concatenation, then slice.
+		flat := make([]float64, 0, 8)
+		for _, b := range blocks {
+			flat = append(flat, b...)
+		}
+		all := c.Allreduce(flat, SumOp)
+		ref := all[c.Rank()*2 : c.Rank()*2+2]
+		for i := range ref {
+			if direct[i] != ref[i] {
+				t.Errorf("rank %d: %v vs reference %v", c.Rank(), direct, ref)
+				break
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

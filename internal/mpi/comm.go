@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+)
+
+// Comm is a communicator: an ordered group of ranks with an isolated
+// tag space. Every method must be called from the owning rank's
+// goroutine inside Run.
+type Comm struct {
+	e       *engine
+	ctx     int
+	group   []int // global ranks, ordered
+	myIndex int   // this rank's index within group
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.myIndex }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// GlobalRank returns the caller's rank in the world communicator.
+func (c *Comm) GlobalRank() int { return c.group[c.myIndex] }
+
+// Now returns the current simulated time in seconds.
+func (c *Comm) Now() float64 {
+	c.e.mu.Lock()
+	defer c.e.mu.Unlock()
+	return c.e.now
+}
+
+// Status describes a received message.
+type Status struct {
+	// Source is the sender's rank within the communicator.
+	Source int
+	// Tag is the message tag.
+	Tag int
+}
+
+func (c *Comm) checkPeer(peer int, wildcardOK bool) {
+	if wildcardOK && peer == AnySource {
+		return
+	}
+	if peer < 0 || peer >= len(c.group) {
+		panic(fmt.Sprintf("mpi: peer rank %d out of range [0,%d)", peer, len(c.group)))
+	}
+}
+
+// globalOf translates a communicator rank to a global rank.
+func (c *Comm) globalOf(rank int) int { return c.group[rank] }
+
+// localOf translates a global rank to a communicator rank (-1 if not a
+// member).
+func (c *Comm) localOf(global int) int {
+	for i, g := range c.group {
+		if g == global {
+			return i
+		}
+	}
+	return -1
+}
+
+// Request is a handle for a nonblocking operation.
+type Request struct {
+	o *op
+	c *Comm
+}
+
+// Send delivers data (bytes long) to rank dst with the given tag,
+// blocking until the transfer completes (rendezvous semantics: the
+// matching Recv must be posted and the message fully drained through
+// the network).
+func (c *Comm) Send(dst, tag int, data any, bytes float64) {
+	r := c.Isend(dst, tag, data, bytes)
+	r.Wait()
+}
+
+// Isend starts a nonblocking send and returns a request to Wait on.
+func (c *Comm) Isend(dst, tag int, data any, bytes float64) *Request {
+	c.checkPeer(dst, false)
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("mpi: invalid message size %v", bytes))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: negative tag %d", tag))
+	}
+	o := &op{
+		kind:  opSend,
+		ctx:   c.ctx,
+		rank:  c.GlobalRank(),
+		peer:  c.globalOf(dst),
+		tag:   tag,
+		data:  data,
+		bytes: bytes,
+	}
+	c.e.mu.Lock()
+	if c.e.err != nil {
+		err := c.e.err
+		c.e.mu.Unlock()
+		panic(simError{err})
+	}
+	c.e.submitLocked(o)
+	c.e.mu.Unlock()
+	return &Request{o: o, c: c}
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns
+// its payload and status. src may be AnySource and tag AnyTag.
+func (c *Comm) Recv(src, tag int) (any, Status) {
+	r := c.Irecv(src, tag)
+	return r.WaitRecv()
+}
+
+// Irecv posts a nonblocking receive.
+func (c *Comm) Irecv(src, tag int) *Request {
+	c.checkPeer(src, true)
+	if tag < 0 && tag != AnyTag {
+		panic(fmt.Sprintf("mpi: negative tag %d", tag))
+	}
+	peer := AnySource
+	if src != AnySource {
+		peer = c.globalOf(src)
+	}
+	o := &op{
+		kind: opRecv,
+		ctx:  c.ctx,
+		rank: c.GlobalRank(),
+		peer: peer,
+		tag:  tag,
+	}
+	c.e.mu.Lock()
+	if c.e.err != nil {
+		err := c.e.err
+		c.e.mu.Unlock()
+		panic(simError{err})
+	}
+	c.e.submitLocked(o)
+	c.e.mu.Unlock()
+	return &Request{o: o, c: c}
+}
+
+// Wait blocks until the request completes.
+func (r *Request) Wait() {
+	r.c.e.mu.Lock()
+	r.c.e.parkLocked(r.o) // unlocks
+}
+
+// WaitRecv blocks until a receive request completes and returns the
+// payload and status.
+func (r *Request) WaitRecv() (any, Status) {
+	r.Wait()
+	src := r.c.localOf(r.o.recvSrc)
+	return r.o.recvData, Status{Source: src, Tag: r.o.recvTag}
+}
+
+// Done reports whether the request has completed without blocking.
+func (r *Request) Done() bool {
+	r.c.e.mu.Lock()
+	defer r.c.e.mu.Unlock()
+	return r.o.done
+}
+
+// Sendrecv simultaneously sends to dst and receives from src (both
+// with the same tag), the primitive of the bisection-pairing
+// benchmark. It blocks until both complete and returns the received
+// payload.
+func (c *Comm) Sendrecv(dst, sendTag int, data any, bytes float64, src, recvTag int) (any, Status) {
+	sreq := c.Isend(dst, sendTag, data, bytes)
+	rreq := c.Irecv(src, recvTag)
+	payload, st := rreq.WaitRecv()
+	sreq.Wait()
+	return payload, st
+}
+
+// Compute advances the caller's simulated clock by the given number of
+// seconds of local computation.
+func (c *Comm) Compute(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		panic(fmt.Sprintf("mpi: invalid compute time %v", seconds))
+	}
+	o := &op{kind: opCompute, ctx: c.ctx, rank: c.GlobalRank(), dur: seconds}
+	c.e.mu.Lock()
+	if c.e.err != nil {
+		err := c.e.err
+		c.e.mu.Unlock()
+		panic(simError{err})
+	}
+	c.e.submitLocked(o)
+	c.e.parkLocked(o) // unlocks
+}
+
+// Split partitions the communicator: ranks passing the same color form
+// a new communicator, ordered by (key, rank). Every rank of c must
+// call Split. Communicator construction is treated as free in
+// simulated time.
+func (c *Comm) Split(color, key int) *Comm {
+	o := &op{kind: opSplit, ctx: c.ctx, rank: c.GlobalRank(), color: color, key: key}
+	c.e.mu.Lock()
+	if c.e.err != nil {
+		err := c.e.err
+		c.e.mu.Unlock()
+		panic(simError{err})
+	}
+	c.e.submitLocked(o)
+	c.e.parkLocked(o) // unlocks
+	return o.newComm
+}

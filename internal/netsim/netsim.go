@@ -1,0 +1,377 @@
+// Package netsim is a discrete-event, flow-level network simulator
+// with max-min fair bandwidth sharing. It models long-lived transfers
+// (flows) over a set of directed links with fixed capacities: at every
+// instant each flow receives its max-min fair rate (computed by
+// progressive filling), and the simulation advances from one flow
+// completion to the next.
+//
+// Flow-level simulation is the right granularity for the paper's
+// experiments, which are bandwidth-bound with hundred-megabyte
+// messages: the quantity that determines completion time is exactly
+// "how many flows share the bottleneck link", the same static model
+// the paper's §4.1 predictions use, but resolved dynamically so that
+// staggered starts and multi-bottleneck cascades are simulated rather
+// than assumed.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FlowID identifies an active or completed flow.
+type FlowID int
+
+// Flow is a point-to-point transfer over a fixed route.
+type flow struct {
+	id        FlowID
+	links     []int
+	total     float64 // bytes at injection
+	remaining float64 // bytes
+	rate      float64 // bytes/sec, set by recomputeRates
+	minDone   float64 // absolute time before which the flow cannot complete (latency)
+	done      bool
+}
+
+// Sim is the simulator state. Create with New; not safe for concurrent
+// use (the mpi engine serializes access).
+type Sim struct {
+	capacity []float64 // per directed link, bytes/sec
+	now      float64
+
+	flows      map[FlowID]*flow
+	nextID     FlowID
+	ratesDirty bool
+
+	// linkFlows maps link -> active flows through it; rebuilt lazily.
+	linkFlows map[int][]*flow
+
+	// Stats.
+	linkBytes      []float64 // cumulative bytes per link
+	totalBytes     float64
+	flowsCompleted int
+}
+
+// New creates a simulator with numLinks directed links of uniform
+// capacity (bytes/sec).
+func New(numLinks int, capacityBps float64) *Sim {
+	if numLinks < 0 {
+		panic("netsim: negative link count")
+	}
+	if capacityBps <= 0 || math.IsNaN(capacityBps) {
+		panic(fmt.Sprintf("netsim: invalid capacity %v", capacityBps))
+	}
+	caps := make([]float64, numLinks)
+	for i := range caps {
+		caps[i] = capacityBps
+	}
+	return NewWithCapacities(caps)
+}
+
+// NewWithCapacities creates a simulator with per-link capacities.
+func NewWithCapacities(caps []float64) *Sim {
+	for i, c := range caps {
+		if c <= 0 || math.IsNaN(c) {
+			panic(fmt.Sprintf("netsim: invalid capacity %v at link %d", c, i))
+		}
+	}
+	return &Sim{
+		capacity:  append([]float64(nil), caps...),
+		flows:     make(map[FlowID]*flow),
+		linkFlows: make(map[int][]*flow),
+		linkBytes: make([]float64, len(caps)),
+	}
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// ActiveFlows returns the number of in-flight flows.
+func (s *Sim) ActiveFlows() int { return len(s.flows) }
+
+// NumLinks returns the number of directed links.
+func (s *Sim) NumLinks() int { return len(s.capacity) }
+
+// StartFlow injects a transfer of the given size over the route at the
+// current time. latency is the minimum in-flight duration (message
+// startup plus per-hop costs); the flow completes when its bytes are
+// drained and the latency has elapsed. A flow with an empty route
+// (intra-node copy) is limited only by latency. Link IDs must be in
+// range; duplicate links in a route are rejected.
+func (s *Sim) StartFlow(links []int, bytes, latency float64) FlowID {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("netsim: invalid flow size %v", bytes))
+	}
+	if latency < 0 || math.IsNaN(latency) {
+		panic(fmt.Sprintf("netsim: invalid latency %v", latency))
+	}
+	seen := make(map[int]bool, len(links))
+	for _, l := range links {
+		if l < 0 || l >= len(s.capacity) {
+			panic(fmt.Sprintf("netsim: link %d out of range [0,%d)", l, len(s.capacity)))
+		}
+		if seen[l] {
+			panic(fmt.Sprintf("netsim: duplicate link %d in route", l))
+		}
+		seen[l] = true
+	}
+	f := &flow{
+		id:        s.nextID,
+		links:     append([]int(nil), links...),
+		total:     bytes,
+		remaining: bytes,
+		minDone:   s.now + latency,
+	}
+	s.nextID++
+	s.flows[f.id] = f
+	s.totalBytes += bytes
+	s.ratesDirty = true
+	return f.id
+}
+
+// recomputeRates assigns each flow its max-min fair rate by progressive
+// filling: repeatedly find the link with the smallest fair share among
+// its unfrozen flows, freeze those flows at that share, remove their
+// consumption, and continue until every flow is frozen. Flows with no
+// links get infinite rate.
+func (s *Sim) recomputeRates() {
+	if !s.ratesDirty {
+		return
+	}
+	s.ratesDirty = false
+
+	// Rebuild link->flows index.
+	for l := range s.linkFlows {
+		delete(s.linkFlows, l)
+	}
+	unfrozen := 0
+	for _, f := range s.flows {
+		if len(f.links) == 0 {
+			f.rate = math.Inf(1)
+			continue
+		}
+		f.rate = -1 // marks unfrozen
+		unfrozen++
+		for _, l := range f.links {
+			s.linkFlows[l] = append(s.linkFlows[l], f)
+		}
+	}
+	if unfrozen == 0 {
+		return
+	}
+	// Deterministic iteration order over links.
+	activeLinks := make([]int, 0, len(s.linkFlows))
+	for l := range s.linkFlows {
+		activeLinks = append(activeLinks, l)
+	}
+	sort.Ints(activeLinks)
+
+	remCap := make(map[int]float64, len(activeLinks))
+	remCnt := make(map[int]int, len(activeLinks))
+	for _, l := range activeLinks {
+		remCap[l] = s.capacity[l]
+		remCnt[l] = len(s.linkFlows[l])
+	}
+
+	for unfrozen > 0 {
+		// Find bottleneck link: minimal fair share among links with
+		// unfrozen flows.
+		share := math.Inf(1)
+		for _, l := range activeLinks {
+			if remCnt[l] <= 0 {
+				continue
+			}
+			if sh := remCap[l] / float64(remCnt[l]); sh < share {
+				share = sh
+			}
+		}
+		if math.IsInf(share, 1) {
+			panic("netsim: progressive filling found no bottleneck with unfrozen flows")
+		}
+		// Freeze every unfrozen flow on links at (or numerically at)
+		// the bottleneck share.
+		frozeAny := false
+		for _, l := range activeLinks {
+			if remCnt[l] <= 0 {
+				continue
+			}
+			if remCap[l]/float64(remCnt[l]) > share*(1+1e-12) {
+				continue
+			}
+			for _, f := range s.linkFlows[l] {
+				if f.rate >= 0 {
+					continue
+				}
+				f.rate = share
+				unfrozen--
+				frozeAny = true
+				for _, fl := range f.links {
+					remCap[fl] -= share
+					if remCap[fl] < 0 {
+						remCap[fl] = 0
+					}
+					remCnt[fl]--
+				}
+			}
+		}
+		if !frozeAny {
+			panic("netsim: progressive filling stalled")
+		}
+	}
+}
+
+// TimeToNextCompletion returns the interval until the earliest flow
+// completion, or ok=false when no flows are active.
+func (s *Sim) TimeToNextCompletion() (float64, bool) {
+	if len(s.flows) == 0 {
+		return 0, false
+	}
+	s.recomputeRates()
+	next := math.Inf(1)
+	for _, f := range s.flows {
+		if t := s.flowCompletionIn(f); t < next {
+			next = t
+		}
+	}
+	return next, true
+}
+
+func (s *Sim) flowCompletionIn(f *flow) float64 {
+	drain := 0.0
+	if f.remaining > 0 {
+		if math.IsInf(f.rate, 1) {
+			drain = 0
+		} else if f.rate <= 0 {
+			return math.Inf(1)
+		} else {
+			drain = f.remaining / f.rate
+		}
+	}
+	lat := f.minDone - s.now
+	if lat < 0 {
+		lat = 0
+	}
+	return math.Max(drain, lat)
+}
+
+// completionEpsilon batches completions that occur within a relative
+// time window, keeping symmetric workloads deterministic despite
+// floating-point noise.
+const completionEpsilon = 1e-9
+
+// Advance moves simulation time forward by dt seconds, draining bytes
+// at the current fair rates, and returns the IDs of flows that
+// completed (in ascending ID order). Flows complete only exactly at
+// the end of the interval if their completion falls within it;
+// callers that need precise completion times should advance by
+// TimeToNextCompletion increments (as Step does).
+func (s *Sim) Advance(dt float64) []FlowID {
+	if dt < 0 || math.IsNaN(dt) {
+		panic(fmt.Sprintf("netsim: invalid advance %v", dt))
+	}
+	s.recomputeRates()
+	s.now += dt
+	var completed []FlowID
+	for _, f := range s.flows {
+		if f.remaining > 0 && !math.IsInf(f.rate, 1) {
+			drained := f.rate * dt
+			for _, l := range f.links {
+				s.linkBytes[l] += math.Min(drained, f.remaining)
+			}
+			f.remaining -= drained
+			if f.remaining < f.total*completionEpsilon {
+				f.remaining = 0
+			}
+		} else if f.remaining > 0 {
+			// Infinite-rate (linkless) flow drains instantly.
+			f.remaining = 0
+		}
+		if f.remaining <= 0 && f.minDone <= s.now*(1+completionEpsilon)+completionEpsilon {
+			f.done = true
+			completed = append(completed, f.id)
+		}
+	}
+	for _, id := range completed {
+		delete(s.flows, id)
+		s.flowsCompleted++
+	}
+	if len(completed) > 0 {
+		s.ratesDirty = true
+		sort.Slice(completed, func(i, j int) bool { return completed[i] < completed[j] })
+	}
+	return completed
+}
+
+// Step advances to the next flow completion and returns the completed
+// flow IDs; ok=false when no flows are active.
+func (s *Sim) Step() ([]FlowID, bool) {
+	dt, ok := s.TimeToNextCompletion()
+	if !ok {
+		return nil, false
+	}
+	done := s.Advance(dt)
+	// Numerical guard: the earliest completion must actually complete.
+	for len(done) == 0 {
+		done = s.Advance(completionEpsilon * (1 + s.now))
+	}
+	return done, true
+}
+
+// RunUntilIdle advances until no flows remain and returns the total
+// elapsed time since the call.
+func (s *Sim) RunUntilIdle() float64 {
+	start := s.now
+	for {
+		if _, ok := s.Step(); !ok {
+			return s.now - start
+		}
+	}
+}
+
+// FlowRate returns the current fair rate of an active flow
+// (bytes/sec), or ok=false if the flow is unknown or complete.
+func (s *Sim) FlowRate(id FlowID) (float64, bool) {
+	f, ok := s.flows[id]
+	if !ok {
+		return 0, false
+	}
+	s.recomputeRates()
+	return f.rate, true
+}
+
+// Stats summarizes simulator activity.
+type Stats struct {
+	Now            float64
+	TotalBytes     float64
+	FlowsCompleted int
+	ActiveFlows    int
+	MaxLinkBytes   float64
+	BusiestLink    int
+}
+
+// Stats returns a snapshot of cumulative statistics.
+func (s *Sim) Stats() Stats {
+	st := Stats{
+		Now:            s.now,
+		TotalBytes:     s.totalBytes,
+		FlowsCompleted: s.flowsCompleted,
+		ActiveFlows:    len(s.flows),
+		BusiestLink:    -1,
+	}
+	for l, b := range s.linkBytes {
+		if b > st.MaxLinkBytes {
+			st.MaxLinkBytes = b
+			st.BusiestLink = l
+		}
+	}
+	return st
+}
+
+// LinkBytes returns cumulative bytes carried by a link.
+func (s *Sim) LinkBytes(l int) float64 {
+	if l < 0 || l >= len(s.linkBytes) {
+		panic(fmt.Sprintf("netsim: link %d out of range", l))
+	}
+	return s.linkBytes[l]
+}

@@ -1,0 +1,57 @@
+package route
+
+import (
+	"testing"
+
+	"netpart/internal/torus"
+)
+
+// FuzzRoute: arbitrary (shape, src, dst) combinations produce valid
+// chains of adjacent hops of minimal length.
+func FuzzRoute(f *testing.F) {
+	f.Add(uint8(4), uint8(3), uint8(2), uint16(0), uint16(5))
+	f.Add(uint8(2), uint8(2), uint8(2), uint16(7), uint16(0))
+	f.Add(uint8(8), uint8(1), uint8(1), uint16(3), uint16(7))
+	f.Fuzz(func(t *testing.T, a, b, c uint8, srcRaw, dstRaw uint16) {
+		dims := torus.Shape{int(a%8) + 1, int(b%8) + 1, int(c%8) + 1}
+		tor := torus.MustNew(dims...)
+		n := tor.NumVertices()
+		src := int(srcRaw) % n
+		dst := int(dstRaw) % n
+		r := NewRouter(tor)
+		path := r.Route(src, dst, nil)
+		if len(path) != r.HopCount(src, dst) {
+			t.Fatalf("%v %d->%d: %d hops, want %d", dims, src, dst, len(path), r.HopCount(src, dst))
+		}
+		cur := src
+		for _, l := range path {
+			from, d, dir := r.LinkInfo(l)
+			if from != cur {
+				t.Fatalf("%v: discontinuous path", dims)
+			}
+			aLen := dims[d]
+			coord := cur / stride(dims, d) % aLen
+			var next int
+			if dir == Plus {
+				next = (coord + 1) % aLen
+			} else {
+				next = (coord - 1 + aLen) % aLen
+			}
+			cur += (next - coord) * stride(dims, d)
+			if !tor.HasEdge(from, cur) && from != cur {
+				t.Fatalf("%v: hop %d->%d is not an edge", dims, from, cur)
+			}
+		}
+		if cur != dst {
+			t.Fatalf("%v: path ends at %d, want %d", dims, cur, dst)
+		}
+	})
+}
+
+func stride(dims torus.Shape, d int) int {
+	s := 1
+	for i := len(dims) - 1; i > d; i-- {
+		s *= dims[i]
+	}
+	return s
+}

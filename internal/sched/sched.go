@@ -1,0 +1,413 @@
+// Package sched implements the paper's §5 "Future Work" proposal: a
+// job scheduler whose processor-allocation policy is informed by
+// partition bisection bandwidth. It models the midplane grid of a
+// Blue Gene/Q machine as a 4D occupancy map, places jobs as cuboids
+// (with wrap-around, as the torus wiring permits), and compares a
+// geometry-oblivious first-fit policy against a contention-aware
+// policy that maximizes the internal bisection of the allocated
+// partition for jobs declared contention-bound.
+//
+// The payoff modeled is the paper's central observation: a
+// contention-bound job on a partition with bisection B runs
+// best-B / B times longer than on the best geometry of the same size,
+// so allocation geometry feeds directly back into queue throughput.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netpart/internal/bgq"
+	"netpart/internal/torus"
+)
+
+// Grid tracks midplane occupancy of a machine.
+type Grid struct {
+	machine *bgq.Machine
+	dims    torus.Shape
+	strides []int
+	used    []int // job ID + 1, or 0 when free
+}
+
+// NewGrid creates an empty occupancy grid for a machine.
+func NewGrid(m *bgq.Machine) *Grid {
+	dims := m.Grid
+	strides := make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	return &Grid{machine: m, dims: dims, strides: strides, used: make([]int, s)}
+}
+
+// Machine returns the underlying machine.
+func (g *Grid) Machine() *bgq.Machine { return g.machine }
+
+// FreeMidplanes returns the number of unoccupied midplanes.
+func (g *Grid) FreeMidplanes() int {
+	n := 0
+	for _, u := range g.used {
+		if u == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// cellsOf enumerates the linear cell indices of a cuboid placement.
+func (g *Grid) cellsOf(origin torus.Coord, lens torus.Shape) []int {
+	cells := make([]int, 0, lens.Volume())
+	var rec func(dim, base int)
+	rec = func(dim, base int) {
+		if dim == len(g.dims) {
+			cells = append(cells, base)
+			return
+		}
+		for off := 0; off < lens[dim]; off++ {
+			c := (origin[dim] + off) % g.dims[dim]
+			rec(dim+1, base+c*g.strides[dim])
+		}
+	}
+	rec(0, 0)
+	return cells
+}
+
+// fits reports whether the cuboid placement is entirely free.
+func (g *Grid) fits(origin torus.Coord, lens torus.Shape) bool {
+	for _, c := range g.cellsOf(origin, lens) {
+		if g.used[c] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// occupy marks a placement as owned by a job.
+func (g *Grid) occupy(jobID int, origin torus.Coord, lens torus.Shape) {
+	for _, c := range g.cellsOf(origin, lens) {
+		if g.used[c] != 0 {
+			panic(fmt.Sprintf("sched: double allocation of midplane %d", c))
+		}
+		g.used[c] = jobID + 1
+	}
+}
+
+// release frees a job's cells.
+func (g *Grid) release(jobID int, origin torus.Coord, lens torus.Shape) {
+	for _, c := range g.cellsOf(origin, lens) {
+		if g.used[c] != jobID+1 {
+			panic(fmt.Sprintf("sched: releasing midplane %d not owned by job %d", c, jobID))
+		}
+		g.used[c] = 0
+	}
+}
+
+// Placement is a concrete allocation: cuboid lengths in host dimension
+// order plus an origin.
+type Placement struct {
+	Origin torus.Coord
+	Lens   torus.Shape
+}
+
+// Partition returns the bgq partition of the placement.
+func (p Placement) Partition() bgq.Partition {
+	part, err := bgq.NewPartition(p.Lens)
+	if err != nil {
+		panic(err)
+	}
+	return part
+}
+
+// candidates enumerates every feasible placement of a midplane count,
+// in deterministic order: geometries (canonical order), then length
+// assignments, then origins (lexicographic).
+func (g *Grid) candidates(midplanes int) []Placement {
+	var out []Placement
+	for _, geo := range torus.EnumerateGeometries(g.dims, len(g.dims), midplanes) {
+		for _, lens := range torus.Placements(g.dims, geo) {
+			g.forEachOrigin(func(origin torus.Coord) {
+				if g.fits(origin, lens) {
+					out = append(out, Placement{Origin: origin.Clone(), Lens: lens.Clone()})
+				}
+			})
+		}
+	}
+	return out
+}
+
+func (g *Grid) forEachOrigin(fn func(origin torus.Coord)) {
+	origin := make(torus.Coord, len(g.dims))
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == len(g.dims) {
+			fn(origin)
+			return
+		}
+		for c := 0; c < g.dims[dim]; c++ {
+			origin[dim] = c
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+}
+
+// PlacementPolicy selects a placement from the feasible candidates.
+type PlacementPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Choose picks one of the candidate placements for the job (the
+	// candidate list is non-empty and deterministic).
+	Choose(job Job, candidates []Placement) Placement
+}
+
+// FirstFit takes the first feasible placement — geometry-oblivious,
+// the baseline the paper's schedulers approximate when users request
+// sizes only.
+type FirstFit struct{}
+
+// Name implements PlacementPolicy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Choose implements PlacementPolicy.
+func (FirstFit) Choose(_ Job, candidates []Placement) Placement { return candidates[0] }
+
+// BestBisection picks the placement whose partition has maximal
+// internal bisection bandwidth (ties: first).
+type BestBisection struct{}
+
+// Name implements PlacementPolicy.
+func (BestBisection) Name() string { return "best-bisection" }
+
+// Choose implements PlacementPolicy.
+func (BestBisection) Choose(_ Job, candidates []Placement) Placement {
+	best := candidates[0]
+	bestBW := best.Partition().BisectionBW()
+	for _, c := range candidates[1:] {
+		if bw := c.Partition().BisectionBW(); bw > bestBW {
+			best, bestBW = c, bw
+		}
+	}
+	return best
+}
+
+// ContentionAware applies BestBisection to jobs that declare
+// themselves contention-bound (the user hint of the paper's §5) and
+// FirstFit to the rest.
+type ContentionAware struct{}
+
+// Name implements PlacementPolicy.
+func (ContentionAware) Name() string { return "contention-aware" }
+
+// Choose implements PlacementPolicy.
+func (ContentionAware) Choose(job Job, candidates []Placement) Placement {
+	if job.ContentionBound {
+		return BestBisection{}.Choose(job, candidates)
+	}
+	return FirstFit{}.Choose(job, candidates)
+}
+
+// Job is a queue entry.
+type Job struct {
+	ID        int
+	Midplanes int
+	// ArrivalSec is the submission time.
+	ArrivalSec float64
+	// BaseDurationSec is the runtime on a best-bisection geometry.
+	BaseDurationSec float64
+	// ContentionBound marks jobs whose runtime stretches by
+	// bestBW/allocatedBW on inferior geometries.
+	ContentionBound bool
+}
+
+// Allocation records a placed job.
+type Allocation struct {
+	Job       Job
+	Placement Placement
+	StartSec  float64
+	EndSec    float64
+}
+
+// Result summarizes a scheduling run.
+type Result struct {
+	Policy      string
+	Allocations []Allocation
+	// MakespanSec is the completion time of the last job.
+	MakespanSec float64
+	// TotalWaitSec sums queue waits.
+	TotalWaitSec float64
+	// TotalRunSec sums actual runtimes (stretched by bad geometries).
+	TotalRunSec float64
+	// MidplaneSeconds is the utilization integral (allocated midplanes
+	// x time).
+	MidplaneSeconds float64
+}
+
+// AvgStretch returns mean actual/base runtime over jobs.
+func (r Result) AvgStretch() float64 {
+	if len(r.Allocations) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, a := range r.Allocations {
+		s += (a.EndSec - a.StartSec) / a.Job.BaseDurationSec
+	}
+	return s / float64(len(r.Allocations))
+}
+
+// Options tunes the scheduling loop.
+type Options struct {
+	// Backfill enables conservative EASY-style backfilling: while the
+	// queue head waits for space, later jobs may start if (a) a
+	// placement exists right now and (b) they are guaranteed to finish
+	// by the head job's shadow time — the earliest instant at which
+	// enough midplanes will be free (count-based estimate) — so the
+	// head's start is never delayed.
+	Backfill bool
+}
+
+// Run schedules the jobs FCFS under the policy and returns the
+// outcome. Jobs must fit the machine; an infeasible size fails.
+func Run(m *bgq.Machine, policy PlacementPolicy, jobs []Job) (Result, error) {
+	return RunWithOptions(m, policy, jobs, Options{})
+}
+
+// RunWithOptions is Run with scheduling options.
+func RunWithOptions(m *bgq.Machine, policy PlacementPolicy, jobs []Job, opts Options) (Result, error) {
+	for _, j := range jobs {
+		if len(torus.EnumerateGeometries(m.Grid, len(m.Grid), j.Midplanes)) == 0 {
+			return Result{}, fmt.Errorf("sched: job %d requests %d midplanes, infeasible on %s", j.ID, j.Midplanes, m.Name)
+		}
+		if j.BaseDurationSec <= 0 {
+			return Result{}, fmt.Errorf("sched: job %d has non-positive duration", j.ID)
+		}
+	}
+	grid := NewGrid(m)
+	queue := append([]Job(nil), jobs...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].ArrivalSec < queue[j].ArrivalSec })
+
+	res := Result{Policy: policy.Name()}
+	type running struct {
+		alloc Allocation
+	}
+	var active []running
+	now := 0.0
+
+	finishEarliest := func() int {
+		best := -1
+		for i, r := range active {
+			if best < 0 || r.alloc.EndSec < active[best].alloc.EndSec {
+				best = i
+			}
+		}
+		return best
+	}
+
+	// jobDuration applies the contention-bound stretch for a placement.
+	jobDuration := func(job Job, pl Placement) float64 {
+		duration := job.BaseDurationSec
+		if job.ContentionBound {
+			best, _ := m.Best(job.Midplanes)
+			duration *= float64(best.BisectionBW()) / float64(pl.Partition().BisectionBW())
+		}
+		return duration
+	}
+
+	startJob := func(job Job, pl Placement) {
+		duration := jobDuration(job, pl)
+		alloc := Allocation{Job: job, Placement: pl, StartSec: now, EndSec: now + duration}
+		grid.occupy(job.ID, pl.Origin, pl.Lens)
+		active = append(active, running{alloc})
+		res.TotalWaitSec += now - job.ArrivalSec
+		res.TotalRunSec += duration
+		res.MidplaneSeconds += float64(job.Midplanes) * duration
+	}
+
+	// shadowTime estimates when the head job could start: the earliest
+	// completion prefix after which free midplanes cover the request
+	// (count-based, optimistic about fragmentation — conservative for
+	// backfill admission because it never overestimates the wait).
+	shadowTime := func(need int) float64 {
+		free := grid.FreeMidplanes()
+		if free >= need {
+			return now
+		}
+		ends := make([]Allocation, 0, len(active))
+		for _, r := range active {
+			ends = append(ends, r.alloc)
+		}
+		sort.Slice(ends, func(i, j int) bool { return ends[i].EndSec < ends[j].EndSec })
+		for _, a := range ends {
+			free += a.Job.Midplanes
+			if free >= need {
+				return a.EndSec
+			}
+		}
+		return math.Inf(1)
+	}
+
+	for len(queue) > 0 || len(active) > 0 {
+		// Try to start the head of the queue (strict FCFS).
+		started := false
+		if len(queue) > 0 && queue[0].ArrivalSec <= now {
+			job := queue[0]
+			if cands := grid.candidates(job.Midplanes); len(cands) > 0 {
+				startJob(job, policy.Choose(job, cands))
+				queue = queue[1:]
+				started = true
+			} else if opts.Backfill {
+				// The head waits: admit later arrived jobs that finish
+				// by the head's shadow time.
+				shadow := shadowTime(job.Midplanes)
+				for i := 1; i < len(queue); i++ {
+					cand := queue[i]
+					if cand.ArrivalSec > now {
+						continue
+					}
+					cs := grid.candidates(cand.Midplanes)
+					if len(cs) == 0 {
+						continue
+					}
+					pl := policy.Choose(cand, cs)
+					if now+jobDuration(cand, pl) <= shadow {
+						startJob(cand, pl)
+						queue = append(queue[:i], queue[i+1:]...)
+						started = true
+						break
+					}
+				}
+			}
+		}
+		if started {
+			continue
+		}
+		// Advance time to the next event: an arrival or a completion.
+		nextArrival := -1.0
+		for _, j := range queue {
+			if j.ArrivalSec > now && (nextArrival < 0 || j.ArrivalSec < nextArrival) {
+				nextArrival = j.ArrivalSec
+			}
+		}
+		fi := finishEarliest()
+		switch {
+		case fi >= 0 && (nextArrival < 0 || active[fi].alloc.EndSec <= nextArrival):
+			a := active[fi].alloc
+			now = a.EndSec
+			grid.release(a.Job.ID, a.Placement.Origin, a.Placement.Lens)
+			res.Allocations = append(res.Allocations, a)
+			active = append(active[:fi], active[fi+1:]...)
+			if a.EndSec > res.MakespanSec {
+				res.MakespanSec = a.EndSec
+			}
+		case nextArrival >= 0:
+			now = nextArrival
+		default:
+			// Head job cannot start and nothing is running: the queue
+			// head needs space that fragmentation denies forever.
+			return Result{}, fmt.Errorf("sched: job %d (%d midplanes) cannot be placed on an empty machine", queue[0].ID, queue[0].Midplanes)
+		}
+	}
+	sort.Slice(res.Allocations, func(i, j int) bool { return res.Allocations[i].Job.ID < res.Allocations[j].Job.ID })
+	return res, nil
+}

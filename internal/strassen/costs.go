@@ -1,0 +1,170 @@
+package strassen
+
+import (
+	"fmt"
+	"math"
+)
+
+// StepKind distinguishes the two recursion step types of CAPS [25]:
+// BFS steps divide the processors into 7 groups that attack the 7
+// Strassen subproblems in parallel (requiring an operand
+// redistribution), DFS steps keep all processors on each subproblem in
+// sequence (local additions only, no redistribution, but 7x the
+// subproblem traffic of the next level).
+type StepKind int
+
+const (
+	// BFS is a breadth-first (parallel subproblem) step.
+	BFS StepKind = iota
+	// DFS is a depth-first (sequential subproblem) step.
+	DFS
+)
+
+// Schedule is the interleaving of BFS and DFS steps from the top of
+// the recursion. AllBFS(k) is the memory-hungry, communication-minimal
+// schedule the paper's runs used (§4.3 reports 4 BFS steps).
+type Schedule []StepKind
+
+// AllBFS returns a schedule of k BFS steps.
+func AllBFS(k int) Schedule {
+	s := make(Schedule, k)
+	for i := range s {
+		s[i] = BFS
+	}
+	return s
+}
+
+// BFSCount returns the number of BFS steps in the schedule.
+func (s Schedule) BFSCount() int {
+	c := 0
+	for _, k := range s {
+		if k == BFS {
+			c++
+		}
+	}
+	return c
+}
+
+// CostSummary is the exact operation accounting of a CAPS execution.
+type CostSummary struct {
+	// FlopsPerRank counts floating-point operations per rank: the leaf
+	// classical multiplications plus the quadrant additions performed
+	// at every recursion step.
+	FlopsPerRank float64
+	// WordsPerRank counts words communicated (sent) per rank across
+	// all BFS redistributions.
+	WordsPerRank float64
+	// TotalWords counts words moved across the whole machine.
+	TotalWords float64
+	// LevelTotalWords[i] is the total redistribution volume of
+	// schedule step i (zero for DFS steps).
+	LevelTotalWords []float64
+	// LeafDim is the matrix dimension at which the recursion bottoms
+	// out into classical multiplication.
+	LeafDim int
+	// PeakWordsTotal is the combined storage high-water mark across
+	// all ranks: BFS steps multiply the live data by 7/4.
+	PeakWordsTotal float64
+}
+
+// Costs computes the communication and computation volumes of CAPS
+// multiplying two n x n matrices on P = f * 7^(#BFS) ranks with the
+// given schedule, where f >= 1 ranks share each leaf subproblem. A
+// BFS step at a subproblem of dimension m within a group of g ranks
+// redistributes the seven operand pairs (S_i, T_i), each of dimension
+// m/2: 2 * 7 * (m/2)^2 = 3.5 m^2 words per subproblem, i.e. 3.5 m^2/g
+// words sent per rank (matching the per-step bandwidth cost of [25]
+// up to the constant).
+func Costs(n int, P int, sched Schedule) (CostSummary, error) {
+	if n < 1 || P < 1 {
+		return CostSummary{}, fmt.Errorf("strassen: invalid n=%d P=%d", n, P)
+	}
+	sevens := 1
+	for i := 0; i < sched.BFSCount(); i++ {
+		sevens *= 7
+	}
+	if P%sevens != 0 {
+		return CostSummary{}, fmt.Errorf("strassen: P=%d not divisible by 7^%d", P, sched.BFSCount())
+	}
+	if n%(1<<uint(len(sched))) != 0 {
+		return CostSummary{}, fmt.Errorf("strassen: n=%d not divisible by 2^%d", n, len(sched))
+	}
+
+	summary := CostSummary{LevelTotalWords: make([]float64, len(sched))}
+	m := float64(n) // current subproblem dimension
+	subproblems := 1.0
+	groupRanks := float64(P)
+	addFlopsPerRank := 0.0
+	for i, kind := range sched {
+		// Forming the S/T operands costs additions regardless of step
+		// kind: per subproblem, 8 quadrant additions for the operands
+		// and 7 for the combination, each (m/2)^2 flops. They are
+		// spread over the ranks holding the subproblem.
+		addFlopsPerRank += subproblems * 15 * (m / 2) * (m / 2) / float64(P)
+		if kind == BFS {
+			vol := subproblems * 3.5 * m * m
+			summary.LevelTotalWords[i] = vol
+			summary.TotalWords += vol
+			summary.WordsPerRank += 3.5 * m * m / groupRanks
+			groupRanks /= 7
+		}
+		subproblems *= 7
+		m /= 2
+	}
+	summary.LeafDim = n >> uint(len(sched))
+	leaf := float64(summary.LeafDim)
+	// groupRanks ranks share each leaf classical multiplication.
+	summary.FlopsPerRank = (2*leaf*leaf*leaf - leaf*leaf) / groupRanks
+	summary.FlopsPerRank += addFlopsPerRank
+	// Peak storage: 3 matrices (A, B, C), multiplied by 7/4 per BFS
+	// step (7 half-sized subproblem pairs replace 4 quadrant pairs).
+	summary.PeakWordsTotal = 3 * float64(n) * float64(n) * math.Pow(7.0/4.0, float64(sched.BFSCount()))
+	return summary, nil
+}
+
+// WorkingSetBytes returns the combined storage requirement, in bytes,
+// of a CAPS run with l BFS steps on n x n matrices, including an equal
+// allowance for communication-library buffers — the quantity the paper
+// compares against the combined L2 capacity in §4.3 (it reports
+// 3*(7/4)^4 * 8 * 9408^2 bytes = 18.55 GiB for the matrices alone).
+func WorkingSetBytes(n, bfsSteps int) float64 {
+	matrices := 3 * math.Pow(7.0/4.0, float64(bfsSteps)) * float64(n) * float64(n) * 8
+	return 2 * matrices
+}
+
+// ValidateParams checks the experimental constraints of the paper's
+// §4.2 (inherited from the implementation of [8, 25]): the rank count
+// must be of the form f * 7^k, and the matrix dimension a multiple of
+// 7^ceil(k/2). (The paper states the dimension must be a multiple of
+// f * 2^r * 7^ceil(k/2); its own Table 3 rows satisfy only the 7-power
+// part — 13 does not divide 32928 — so we enforce the part the rows
+// obey and treat the f and 2^r factors as handled by the
+// implementation's padding.)
+func ValidateParams(ranks, n int) error {
+	if ranks < 1 || n < 1 {
+		return fmt.Errorf("strassen: invalid ranks=%d n=%d", ranks, n)
+	}
+	_, k := factorSevens(ranks)
+	pow7 := 1
+	for i := 0; i < (k+1)/2; i++ {
+		pow7 *= 7
+	}
+	if n%pow7 != 0 {
+		return fmt.Errorf("strassen: dimension %d is not a multiple of 7^ceil(%d/2) = %d", n, k, pow7)
+	}
+	return nil
+}
+
+// factorSevens writes ranks = f * 7^k with 7 not dividing f.
+func factorSevens(ranks int) (f, k int) {
+	f = ranks
+	for f%7 == 0 {
+		f /= 7
+		k++
+	}
+	return f, k
+}
+
+// FactorSevens is the exported form of the f*7^k decomposition used in
+// Tables 3 and 4.
+func FactorSevens(ranks int) (f, k int) { return factorSevens(ranks) }

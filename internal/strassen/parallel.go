@@ -1,0 +1,156 @@
+package strassen
+
+import (
+	"fmt"
+
+	"netpart/internal/matrix"
+	"netpart/internal/mpi"
+)
+
+// Parallel tags; must stay below the mpi collective tag space.
+const (
+	tagOperandS = 1000 + iota
+	tagOperandT
+	tagResult
+)
+
+// ParallelMultiply executes Strassen-Winograd across the communicator
+// on the simulated machine: at each BFS level the subproblem owner
+// forms the seven Winograd operand pairs and distributes them to the
+// roots of seven subgroups, which recurse; leaf owners multiply
+// sequentially and results propagate back up the tree. All operand
+// and result movement is genuine simulated message traffic.
+//
+// The communicator size must be 7^k for some k >= 0. Rank 0 supplies
+// a and b (other ranks pass nil) and receives the product; other ranks
+// return nil. The matrix dimension must be divisible by 2^k.
+//
+// This realizes the BFS recursion tree of CAPS [25] with an
+// owner-centralized data layout: simple to verify, with the same
+// recursion structure and message pattern shape, though not
+// communication-optimal (CAPS distributes each subproblem
+// block-cyclically; see package model for the cost accounting used at
+// paper scale).
+func ParallelMultiply(c *mpi.Comm, a, b *matrix.Matrix, cutoff int) *matrix.Matrix {
+	p := c.Size()
+	k := 0
+	for q := p; q > 1; q /= 7 {
+		if q%7 != 0 {
+			panic(fmt.Sprintf("strassen: communicator size %d is not a power of 7", p))
+		}
+		k++
+	}
+	if c.Rank() == 0 {
+		if a == nil || b == nil {
+			panic("strassen: rank 0 must supply both operands")
+		}
+		if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+			panic(fmt.Sprintf("strassen: need equal square matrices, got %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		}
+		if a.Rows%(1<<uint(k)) != 0 {
+			panic(fmt.Sprintf("strassen: dimension %d not divisible by 2^%d", a.Rows, k))
+		}
+	}
+	return parallelMultiply(c, a, b, cutoff)
+}
+
+func parallelMultiply(c *mpi.Comm, a, b *matrix.Matrix, cutoff int) *matrix.Matrix {
+	p := c.Size()
+	if p == 1 {
+		if a == nil {
+			return nil
+		}
+		out := matrix.New(a.Rows, a.Cols)
+		multiply(out, a, b, cutoff)
+		return out
+	}
+	sub := p / 7
+	me := c.Rank()
+	group := me / sub
+	subComm := c.Split(group, me)
+
+	var s, t [7]*matrix.Matrix
+	var h int
+	if me == 0 {
+		h = a.Rows / 2
+		a11, a12, a21, a22 := a.Quadrants()
+		b11, b12, b21, b22 := b.Quadrants()
+		mk := func() *matrix.Matrix { return matrix.New(h, h) }
+		s1, s2, s3, s4 := mk(), mk(), mk(), mk()
+		t1, t2, t3, t4 := mk(), mk(), mk(), mk()
+		matrix.Add(s1, a21, a22)
+		matrix.Sub(s2, s1, a11)
+		matrix.Sub(s3, a11, a21)
+		matrix.Sub(s4, a12, s2)
+		matrix.Sub(t1, b12, b11)
+		matrix.Sub(t2, b22, t1)
+		matrix.Sub(t3, b22, b12)
+		matrix.Sub(t4, t2, b21)
+		// Subproblem operands in Winograd order M1..M7.
+		s = [7]*matrix.Matrix{a11, a12, s4, a22, s1, s2, s3}
+		t = [7]*matrix.Matrix{b11, b21, b22, t4, t1, t2, t3}
+		// Ship operands to the six other subgroup roots.
+		for i := 1; i < 7; i++ {
+			root := i * sub
+			bytes := float64(8 * h * h)
+			c.Send(root, tagOperandS, s[i].Flatten(), bytes)
+			c.Send(root, tagOperandT, t[i].Flatten(), bytes)
+		}
+	}
+
+	// Subgroup roots obtain their operands.
+	var mya, myb *matrix.Matrix
+	if subComm.Rank() == 0 {
+		if group == 0 {
+			mya, myb = s[0], t[0]
+		} else {
+			sd, _ := c.Recv(0, tagOperandS)
+			td, _ := c.Recv(0, tagOperandT)
+			sf := sd.([]float64)
+			tf := td.([]float64)
+			dim := isqrt(len(sf))
+			mya = matrix.FromSlice(dim, dim, sf)
+			myb = matrix.FromSlice(dim, dim, tf)
+		}
+	}
+
+	mi := parallelMultiply(subComm, mya, myb, cutoff)
+
+	// Collect the seven products at rank 0 and combine.
+	if subComm.Rank() == 0 && group != 0 {
+		c.Send(0, tagResult, mi.Flatten(), float64(8*mi.Rows*mi.Cols))
+	}
+	if me != 0 {
+		return nil
+	}
+	m := [7]*matrix.Matrix{mi}
+	for i := 1; i < 7; i++ {
+		data, _ := c.Recv(i*sub, tagResult)
+		f := data.([]float64)
+		dim := isqrt(len(f))
+		m[i] = matrix.FromSlice(dim, dim, f)
+	}
+	out := matrix.New(a.Rows, a.Cols)
+	c11, c12, c21, c22 := out.Quadrants()
+	u2 := matrix.New(h, h)
+	u3 := matrix.New(h, h)
+	matrix.Add(c11, m[0], m[1])
+	matrix.Add(u2, m[0], m[5])
+	matrix.Add(u3, u2, m[6])
+	matrix.Add(c12, u2, m[4])
+	matrix.Add(c12, c12, m[2])
+	matrix.Sub(c21, u3, m[3])
+	matrix.Add(c22, u3, m[4])
+	return out
+}
+
+func isqrt(n int) int {
+	r := 0
+	for r*r < n {
+		r++
+	}
+	if r*r != n {
+		panic(fmt.Sprintf("strassen: payload length %d is not a square", n))
+	}
+	return r
+}

@@ -1,0 +1,133 @@
+package strassen
+
+import (
+	"math/rand"
+	"testing"
+
+	"netpart/internal/matrix"
+	"netpart/internal/mpi"
+	"netpart/internal/torus"
+)
+
+// runParallel multiplies on p ranks over a small torus and returns the
+// product from rank 0 along with the run stats.
+func runParallel(t *testing.T, p, n, cutoff int, seed int64) (*matrix.Matrix, mpi.Stats) {
+	t.Helper()
+	dims := torus.Shape{p, 1}
+	if p > 16 {
+		dims = torus.Shape{7, 7}
+	}
+	tor := torus.MustNew(dims...)
+	nodes := tor.NumVertices()
+	mapping := make([]int, p)
+	for i := range mapping {
+		mapping[i] = i % nodes
+	}
+	var result *matrix.Matrix
+	stats, err := mpi.Run(mpi.Config{Topology: tor, Ranks: p, RankToNode: mapping}, func(c *mpi.Comm) {
+		var a, b *matrix.Matrix
+		if c.Rank() == 0 {
+			rng := rand.New(rand.NewSource(seed))
+			a = matrix.New(n, n)
+			b = matrix.New(n, n)
+			a.FillRandom(rng)
+			b.FillRandom(rng)
+		}
+		out := ParallelMultiply(c, a, b, cutoff)
+		if c.Rank() == 0 {
+			result = out
+		} else if out != nil {
+			t.Errorf("rank %d should return nil", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result, stats
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, c := range []struct{ p, n int }{
+		{1, 12}, {7, 8}, {7, 24}, {49, 16}, {49, 28},
+	} {
+		got, _ := runParallel(t, c.p, c.n, 4, int64(c.p*1000+c.n))
+		rng := rand.New(rand.NewSource(int64(c.p*1000 + c.n)))
+		a := matrix.New(c.n, c.n)
+		b := matrix.New(c.n, c.n)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		want := classical(a, b)
+		if d := matrix.MaxAbsDiff(got, want); d > 1e-9*float64(c.n) {
+			t.Errorf("p=%d n=%d: max diff %v", c.p, c.n, d)
+		}
+	}
+}
+
+func TestParallelMovesExpectedTraffic(t *testing.T) {
+	// On 7 ranks, one BFS level for an n x n problem ships 6 operand
+	// pairs of (n/2)^2 doubles down and 6 results back:
+	// 6*2*(n/2)^2*8 + 6*(n/2)^2*8 bytes = 18*(n/2)^2*8.
+	n := 16
+	_, stats := runParallel(t, 7, n, 64, 5)
+	want := 18.0 * float64((n/2)*(n/2)) * 8
+	if stats.TotalBytes != want {
+		t.Errorf("traffic %v bytes, want %v", stats.TotalBytes, want)
+	}
+	// 12 operand messages + 6 results.
+	if stats.Messages != 18 {
+		t.Errorf("messages %d, want 18", stats.Messages)
+	}
+}
+
+func TestParallelPanicsOnBadSize(t *testing.T) {
+	tor := torus.MustNew(6, 1)
+	_, err := mpi.Run(mpi.Config{Topology: tor}, func(c *mpi.Comm) {
+		var a, b *matrix.Matrix
+		if c.Rank() == 0 {
+			a = matrix.New(4, 4)
+			b = matrix.New(4, 4)
+		}
+		ParallelMultiply(c, a, b, 4) // 6 ranks: not a power of 7
+	})
+	if err == nil {
+		t.Error("expected error for non-power-of-7 communicator")
+	}
+}
+
+func TestParallelPanicsOnBadDimension(t *testing.T) {
+	tor := torus.MustNew(7, 1)
+	_, err := mpi.Run(mpi.Config{Topology: tor}, func(c *mpi.Comm) {
+		var a, b *matrix.Matrix
+		if c.Rank() == 0 {
+			a = matrix.New(5, 5) // odd: cannot take one BFS level
+			b = matrix.New(5, 5)
+		}
+		ParallelMultiply(c, a, b, 4)
+	})
+	if err == nil {
+		t.Error("expected error for indivisible dimension")
+	}
+}
+
+func BenchmarkParallelStrassen49Ranks(b *testing.B) {
+	tor := torus.MustNew(7, 7)
+	rng := rand.New(rand.NewSource(1))
+	a := matrix.New(56, 56)
+	bb := matrix.New(56, 56)
+	a.FillRandom(rng)
+	bb.FillRandom(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := mpi.Run(mpi.Config{Topology: tor, Ranks: 49}, func(c *mpi.Comm) {
+			var x, y *matrix.Matrix
+			if c.Rank() == 0 {
+				x, y = a, bb
+			}
+			ParallelMultiply(c, x, y, 8)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package strassen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netpart/internal/matrix"
+)
+
+func classical(a, b *matrix.Matrix) *matrix.Matrix {
+	c := matrix.New(a.Rows, b.Cols)
+	matrix.Mul(c, a, b)
+	return c
+}
+
+func TestStrassenMatchesClassical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 4, 6, 8, 16, 32, 48, 64, 96, 100, 128} {
+		a := matrix.New(n, n)
+		b := matrix.New(n, n)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		got := MultiplyCutoff(a, b, 8)
+		want := classical(a, b)
+		if d := matrix.MaxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max diff %v", n, d)
+		}
+	}
+}
+
+func TestStrassenQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		cutoff := 1 + rng.Intn(16)
+		a := matrix.New(n, n)
+		b := matrix.New(n, n)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		got := MultiplyCutoff(a, b, cutoff)
+		want := classical(a, b)
+		return matrix.MaxAbsDiff(got, want) <= 1e-9*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrassenPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"cutoff":     func() { MultiplyCutoff(matrix.New(2, 2), matrix.New(2, 2), 0) },
+		"not square": func() { Multiply(matrix.New(2, 3), matrix.New(3, 2)) },
+		"mismatch":   func() { Multiply(matrix.New(2, 2), matrix.New(4, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	// At or below cutoff: classical count.
+	if FlopCount(8, 8) != ClassicalFlopCount(8) {
+		t.Error("cutoff flops")
+	}
+	// One recursion level on n=16, cutoff 8:
+	// 15*(8^2) + 7*(2*512-64) = 960 + 7*960 = 7680.
+	want := 15.0*64 + 7*ClassicalFlopCount(8)
+	if got := FlopCount(16, 8); got != want {
+		t.Errorf("FlopCount(16,8) = %v, want %v", got, want)
+	}
+	// Strassen beats classical asymptotically.
+	if FlopCount(1024, 32) >= ClassicalFlopCount(1024) {
+		t.Error("Strassen should use fewer flops at n=1024")
+	}
+}
+
+func TestCostsBasics(t *testing.T) {
+	// P=7, one BFS step, n=4: redistribution volume 3.5*16 = 56 words
+	// total; per rank 3.5*16/7 = 8.
+	c, err := Costs(4, 7, AllBFS(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalWords != 56 {
+		t.Errorf("total words %v, want 56", c.TotalWords)
+	}
+	if c.WordsPerRank != 8 {
+		t.Errorf("words per rank %v, want 8", c.WordsPerRank)
+	}
+	if c.LeafDim != 2 {
+		t.Errorf("leaf dim %d", c.LeafDim)
+	}
+	// Leaf flops: each of the 7 leaves is a 2x2 classical multiply
+	// done by 1 rank: 2*8-4 = 12 flops, plus top-level adds
+	// 15*(2^2)/7 per rank.
+	wantFlops := 12 + 15.0*4/7
+	if math.Abs(c.FlopsPerRank-wantFlops) > 1e-12 {
+		t.Errorf("flops per rank %v, want %v", c.FlopsPerRank, wantFlops)
+	}
+}
+
+func TestCostsErrors(t *testing.T) {
+	if _, err := Costs(4, 6, AllBFS(1)); err == nil {
+		t.Error("P not divisible by 7 should fail")
+	}
+	if _, err := Costs(5, 7, AllBFS(1)); err == nil {
+		t.Error("odd n should fail")
+	}
+	if _, err := Costs(0, 7, AllBFS(1)); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestCostsDFSMovesNoWords(t *testing.T) {
+	bfsOnly, err := Costs(32, 7, AllBFS(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := Costs(32, 7, Schedule{DFS, BFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.LevelTotalWords[0] != 0 {
+		t.Error("DFS step should move no words")
+	}
+	// The BFS step in the mixed schedule happens one level deeper
+	// (dimension 16, 7 subproblems): volume 7 * 3.5 * 256.
+	if mixed.LevelTotalWords[1] != 7*3.5*256 {
+		t.Errorf("mixed BFS volume %v", mixed.LevelTotalWords[1])
+	}
+	_ = bfsOnly
+}
+
+// TestWorkingSetMatchesPaper reproduces the §4.3 storage computation:
+// 4 BFS steps on n=9408 need 3*(7/4)^4*8*9408^2 = 18.55 GiB for the
+// matrices, doubled for communication buffers.
+func TestWorkingSetMatchesPaper(t *testing.T) {
+	matricesOnly := WorkingSetBytes(9408, 4) / 2
+	gib := matricesOnly / (1 << 30)
+	if math.Abs(gib-18.55) > 0.01 {
+		t.Errorf("working set = %.4f GiB, paper says 18.55", gib)
+	}
+}
+
+func TestValidateParams(t *testing.T) {
+	// Table 3 rows.
+	for _, c := range []struct{ ranks, n int }{
+		{31213, 32928},  // 13*7^4, n = 672*49
+		{117649, 21952}, // 7^6, n = 64*343
+		{2401, 9408},    // 7^4, Table 4
+		{4802, 9408},    // 2*7^4
+		{9604, 9408},    // 4*7^4
+	} {
+		if err := ValidateParams(c.ranks, c.n); err != nil {
+			t.Errorf("ranks=%d n=%d: %v", c.ranks, c.n, err)
+		}
+	}
+	if err := ValidateParams(31213, 32929); err == nil {
+		t.Error("bad dimension should fail")
+	}
+	if err := ValidateParams(2401, 100); err == nil {
+		t.Error("n=100 not divisible by 49 should fail")
+	}
+}
+
+func TestFactorSevens(t *testing.T) {
+	for _, c := range []struct{ ranks, f, k int }{
+		{31213, 13, 4}, {117649, 1, 6}, {2401, 1, 4}, {4802, 2, 4}, {9604, 4, 4}, {6, 6, 0},
+	} {
+		f, k := FactorSevens(c.ranks)
+		if f != c.f || k != c.k {
+			t.Errorf("FactorSevens(%d) = (%d,%d), want (%d,%d)", c.ranks, f, k, c.f, c.k)
+		}
+	}
+}
+
+func TestScheduleBFSCount(t *testing.T) {
+	if AllBFS(3).BFSCount() != 3 {
+		t.Error("AllBFS count")
+	}
+	if (Schedule{BFS, DFS, BFS}).BFSCount() != 2 {
+		t.Error("mixed count")
+	}
+}
+
+func BenchmarkStrassen256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := matrix.New(256, 256)
+	y := matrix.New(256, 256)
+	x.FillRandom(rng)
+	y.FillRandom(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Multiply(x, y)
+	}
+}
+
+func BenchmarkClassical256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := matrix.New(256, 256)
+	y := matrix.New(256, 256)
+	x.FillRandom(rng)
+	y.FillRandom(rng)
+	z := matrix.New(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.Mul(z, x, y)
+	}
+}

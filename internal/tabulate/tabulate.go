@@ -1,0 +1,146 @@
+// Package tabulate renders the experiment results as aligned plain-text
+// tables and simple ASCII bar charts, the output format of the cmd/
+// tools and the EXPERIMENTS.md generators.
+package tabulate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, stringifying each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly (integers without decimals,
+// small values with 4 significant digits).
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 0.01 {
+		return fmt.Sprintf("%.3f", v)
+	}
+	return fmt.Sprintf("%.3e", v)
+}
+
+// Render returns the aligned table.
+func (t Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one labeled line of a chart.
+type Series struct {
+	Label string
+	Y     []float64 // aligned with the chart's X labels; NaN = missing
+}
+
+// Chart is a grouped bar chart over categorical X values.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Series []Series
+}
+
+// Render draws the chart as per-category horizontal bars, scaled to
+// the global maximum.
+func (c Chart) Render() string {
+	const barWidth = 48
+	maxV := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", c.Title, strings.Repeat("=", len(c.Title)))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "[%s]\n", c.YLabel)
+	}
+	labelW := 0
+	for _, s := range c.Series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	for xi, x := range c.X {
+		fmt.Fprintf(&b, "%s %s\n", c.XLabel, x)
+		for _, s := range c.Series {
+			if xi >= len(s.Y) || math.IsNaN(s.Y[xi]) {
+				fmt.Fprintf(&b, "  %-*s  %s\n", labelW, s.Label, "-")
+				continue
+			}
+			v := s.Y[xi]
+			n := 0
+			if maxV > 0 {
+				n = int(math.Round(v / maxV * barWidth))
+			}
+			fmt.Fprintf(&b, "  %-*s  %s %s\n", labelW, s.Label, strings.Repeat("#", n), FormatFloat(v))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package tabulate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.AddRow(1, "x")
+	tab.AddRow(22.5, "yyyy")
+	out := tab.Render()
+	if !strings.Contains(out, "T\n=") {
+		t.Error("title underline")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, underline, header, separator, 2 rows
+		t.Fatalf("lines: %q", out)
+	}
+	// Columns aligned: 'bb' column starts at the same offset everywhere.
+	hdr := lines[2]
+	idx := strings.Index(hdr, "bb")
+	for _, ln := range lines[4:] {
+		if len(ln) <= idx {
+			t.Errorf("short line %q", ln)
+		}
+	}
+	if !strings.Contains(out, "22.500") {
+		t.Errorf("float formatting: %q", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:     "3",
+		3.25:  "3.250",
+		0.001: "1.000e-03",
+		-2:    "-2",
+		1536:  "1536",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Title:  "C",
+		XLabel: "mp",
+		YLabel: "time",
+		X:      []string{"4", "8"},
+		Series: []Series{
+			{Label: "cur", Y: []float64{10, 5}},
+			{Label: "prop", Y: []float64{5, math.NaN()}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "cur") || !strings.Contains(out, "prop") {
+		t.Error("labels")
+	}
+	if !strings.Contains(out, "##") {
+		t.Error("bars")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing-value marker")
+	}
+	// The 10-value bar should be about twice the 5-value bar.
+	lines := strings.Split(out, "\n")
+	var w10, w5 int
+	for _, ln := range lines {
+		if strings.Contains(ln, "cur") && strings.Contains(ln, "10") {
+			w10 = strings.Count(ln, "#")
+		}
+		if strings.Contains(ln, "cur") && strings.Contains(ln, " 5") {
+			w5 = strings.Count(ln, "#")
+		}
+	}
+	if w10 != 2*w5 || w5 == 0 {
+		t.Errorf("bar widths %d vs %d", w10, w5)
+	}
+}
+
+func TestChartEmptyValues(t *testing.T) {
+	c := Chart{X: []string{"1"}, Series: []Series{{Label: "s", Y: nil}}}
+	if out := c.Render(); !strings.Contains(out, "-") {
+		t.Errorf("short series should render dash: %q", out)
+	}
+}

@@ -1,0 +1,171 @@
+package topo
+
+import (
+	"fmt"
+
+	"netpart/internal/graph"
+	"netpart/internal/torus"
+)
+
+// GlobalArrangement selects how Dragonfly groups are wired to each
+// other. Hastings et al. [17] compare several schemes; we implement
+// the two standard ones (the third scheme in [17] is a circulant
+// variant of Relative).
+type GlobalArrangement int
+
+const (
+	// Absolute: global port p of every group connects to group p
+	// (skipping the group itself). Port p therefore always lands in
+	// the same destination group regardless of source.
+	Absolute GlobalArrangement = iota
+	// Relative: global port p of group i connects to group
+	// (i + p + 1) mod g.
+	Relative
+	// Circulant: global port p of group i connects to group
+	// i + (-1)^p * ceil((p+1)/2) mod g, alternating sides.
+	Circulant
+)
+
+func (a GlobalArrangement) String() string {
+	switch a {
+	case Absolute:
+		return "absolute"
+	case Relative:
+		return "relative"
+	case Circulant:
+		return "circulant"
+	default:
+		return fmt.Sprintf("arrangement(%d)", int(a))
+	}
+}
+
+// DragonflyConfig describes a Dragonfly network in the style of the
+// Cray XC Aries implementation (paper §5): each group is a clique
+// product GroupDims (K16 x K6 for Aries, with the K6 "black" links
+// carrying weight 3 relative to the K16 "green" links), and groups are
+// joined by global "blue" links of weight 4. Each router provides
+// GlobalPortsPerRouter global ports.
+type DragonflyConfig struct {
+	Groups               int
+	GroupDims            torus.Shape // clique product shape within a group
+	IntraWeights         []float64   // one per GroupDims entry
+	GlobalWeight         float64
+	GlobalPortsPerRouter int
+	Arrangement          GlobalArrangement
+}
+
+// AriesConfig returns the Cray XC parameters of paper §5 scaled down
+// to the given number of groups and group shape. The full-size Aries
+// group is K16 x K6 (96 routers); tests use smaller shapes.
+func AriesConfig(groups int, groupDims torus.Shape) DragonflyConfig {
+	w := make([]float64, len(groupDims))
+	for i := range w {
+		w[i] = 1
+	}
+	if len(w) >= 2 {
+		// The smaller clique's links have triple capacity on Aries.
+		w[len(w)-1] = 3
+	}
+	return DragonflyConfig{
+		Groups:               groups,
+		GroupDims:            groupDims,
+		IntraWeights:         w,
+		GlobalWeight:         4,
+		GlobalPortsPerRouter: 1,
+		Arrangement:          Relative,
+	}
+}
+
+// Dragonfly builds the explicit weighted graph for a Dragonfly
+// configuration. Router r of group i is vertex i*groupSize + r.
+// Global ports are assigned to routers round-robin: port p lives on
+// router p mod groupSize. If the configuration provides fewer global
+// ports than needed to reach every other group, an error is returned.
+func Dragonfly(cfg DragonflyConfig) (*graph.Graph, error) {
+	if cfg.Groups < 2 {
+		return nil, fmt.Errorf("topo: dragonfly needs >= 2 groups, have %d", cfg.Groups)
+	}
+	if err := cfg.GroupDims.Validate(); err != nil {
+		return nil, err
+	}
+	gs := cfg.GroupDims.Volume()
+	ports := gs * cfg.GlobalPortsPerRouter
+	if ports < cfg.Groups-1 {
+		return nil, fmt.Errorf("topo: %d global ports per group cannot reach %d peer groups", ports, cfg.Groups-1)
+	}
+	if cfg.GlobalWeight <= 0 {
+		return nil, fmt.Errorf("topo: non-positive global weight %v", cfg.GlobalWeight)
+	}
+	n := cfg.Groups * gs
+	if n > 1<<18 {
+		return nil, fmt.Errorf("topo: dragonfly with %d routers too large", n)
+	}
+	g := graph.New(n)
+
+	// Intra-group clique-product links.
+	proto, err := WeightedCliqueProduct(cfg.GroupDims, cfg.IntraWeights)
+	if err != nil {
+		return nil, err
+	}
+	for gi := 0; gi < cfg.Groups; gi++ {
+		base := gi * gs
+		for u := 0; u < gs; u++ {
+			proto.Neighbors(u, func(v int, w float64) {
+				if u < v {
+					g.AddEdge(base+u, base+v, w)
+				}
+			})
+		}
+	}
+
+	// Global links. Port p of group i targets a peer group per the
+	// arrangement; the link is added once (from the smaller group id).
+	for gi := 0; gi < cfg.Groups; gi++ {
+		for p := 0; p < cfg.Groups-1; p++ {
+			gj := globalPeer(cfg.Arrangement, gi, p, cfg.Groups)
+			if gj == gi || gj < 0 || gj >= cfg.Groups {
+				return nil, fmt.Errorf("topo: arrangement %v port %d of group %d targets invalid group %d", cfg.Arrangement, p, gi, gj)
+			}
+			if gj < gi {
+				continue // counted from the other side
+			}
+			u := gi*gs + p%gs
+			v := gj*gs + reversePort(cfg.Arrangement, gi, gj, cfg.Groups)%gs
+			g.AddEdge(u, v, cfg.GlobalWeight)
+		}
+	}
+	return g, nil
+}
+
+// globalPeer returns the group that port p of group gi connects to.
+func globalPeer(a GlobalArrangement, gi, p, groups int) int {
+	switch a {
+	case Absolute:
+		// Port p connects to absolute group p, skipping gi itself.
+		if p >= gi {
+			return p + 1
+		}
+		return p
+	case Relative:
+		return (gi + p + 1) % groups
+	case Circulant:
+		step := (p + 2) / 2
+		if p%2 == 0 {
+			return (gi + step) % groups
+		}
+		return ((gi-step)%groups + groups) % groups
+	default:
+		return -1
+	}
+}
+
+// reversePort finds the port of group gj that connects back to gi, so
+// both endpoints of a global link are well-defined routers.
+func reversePort(a GlobalArrangement, gi, gj, groups int) int {
+	for p := 0; p < groups-1; p++ {
+		if globalPeer(a, gj, p, groups) == gi {
+			return p
+		}
+	}
+	return 0
+}

@@ -1,0 +1,105 @@
+package topo
+
+import (
+	"fmt"
+
+	"netpart/internal/iso"
+	"netpart/internal/torus"
+)
+
+// OtherMachine describes a non-Blue-Gene system from the paper's §5
+// discussion, together with the isoperimetric treatment its topology
+// admits.
+type OtherMachine struct {
+	Name     string
+	Topology string
+	// Dims is the torus/hypercube/product shape, when applicable.
+	Dims torus.Shape
+	// Weights are per-dimension link multiplicities (weighted
+	// edge-isoperimetric problems, e.g. 3D tori with bundled links).
+	Weights iso.Weights
+	// Method names the §5 analysis route for this topology.
+	Method string
+}
+
+// Bisection returns the machine's full-network bisection bandwidth in
+// link units (weighted), using the §5-appropriate solver: cuboid-exact
+// search for tori, Harper for hypercubes, Lindsey for clique products.
+func (m OtherMachine) Bisection() (float64, error) {
+	switch m.Topology {
+	case "torus":
+		vol := m.Dims.Volume()
+		if vol%2 != 0 {
+			// Odd vertex count: bisect as evenly as possible.
+			_, w, err := iso.MinWeightedCuboidPerimeter(m.Dims, m.Weights, vol/2)
+			return w, err
+		}
+		_, w, err := iso.MinWeightedCuboidPerimeter(m.Dims, m.Weights, vol/2)
+		return w, err
+	case "hypercube":
+		b, err := iso.HypercubeBisection(len(m.Dims))
+		return float64(b), err
+	case "clique-product":
+		b, err := iso.HyperXBisection(m.Dims)
+		return float64(b), err
+	default:
+		return 0, fmt.Errorf("topo: no bisection method for topology %q", m.Topology)
+	}
+}
+
+// NumNodes returns the vertex count.
+func (m OtherMachine) NumNodes() int {
+	if m.Topology == "hypercube" {
+		return 1 << uint(len(m.Dims))
+	}
+	return m.Dims.Volume()
+}
+
+// OtherMachines returns the §5 systems: the K computer's ToFu
+// interconnect (modeled at its 6D torus/mesh scale), Titan's Gemini 3D
+// torus (bundled links make the edge-isoperimetric problem weighted),
+// Pleiades' hypercube, and a published HyperX configuration. Dragonfly
+// (Cray XC) needs the group-level model of Dragonfly/AriesConfig
+// rather than a single product shape.
+func OtherMachines() []OtherMachine {
+	return []OtherMachine{
+		{
+			// K computer: ToFu 6D torus, 12x axes (Ajima et al. [3]).
+			// The full system is 24x18x17 nodes of 2x3x2 groups; we
+			// model the torus dimensions directly.
+			Name:     "K computer (ToFu)",
+			Topology: "torus",
+			Dims:     torus.Shape{24, 18, 17, 2, 3, 2},
+			Weights:  iso.Uniform(6),
+			Method:   "Theorem 3.1 / exact cuboid search (high-dimensional torus, like BGQ)",
+		},
+		{
+			// Titan: Cray XK7 Gemini 3D torus 25x16x24; the Y dimension
+			// carries half the link bandwidth of X/Z in Gemini, giving a
+			// weighted problem (paper §5: "may require ... weighted
+			// edges").
+			Name:     "Titan (Cray XK7)",
+			Topology: "torus",
+			Dims:     torus.Shape{25, 16, 24},
+			Weights:  iso.Weights{1, 0.5, 1},
+			Method:   "weighted cuboid search (low-dimensional torus, bundled links)",
+		},
+		{
+			// Pleiades: 11D hypercube of racks (paper §5: Harper [16]
+			// solves it directly).
+			Name:     "Pleiades (hypercube)",
+			Topology: "hypercube",
+			Dims:     torus.Shape{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2},
+			Weights:  iso.Uniform(11),
+			Method:   "Harper's theorem (exact for all subset sizes)",
+		},
+		{
+			// A regular HyperX in the style of Ahn et al. [2].
+			Name:     "HyperX 16x8x8",
+			Topology: "clique-product",
+			Dims:     torus.Shape{16, 8, 8},
+			Weights:  iso.Uniform(3),
+			Method:   "Lindsey's theorem (exact for all subset sizes)",
+		},
+	}
+}

@@ -1,0 +1,108 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"netpart/internal/iso"
+	"netpart/internal/torus"
+)
+
+func TestOtherMachinesCatalog(t *testing.T) {
+	machines := OtherMachines()
+	if len(machines) != 4 {
+		t.Fatalf("%d machines", len(machines))
+	}
+	for _, m := range machines {
+		if m.NumNodes() < 2 {
+			t.Errorf("%s: %d nodes", m.Name, m.NumNodes())
+		}
+		b, err := m.Bisection()
+		if err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+			continue
+		}
+		if b <= 0 {
+			t.Errorf("%s: bisection %v", m.Name, b)
+		}
+	}
+}
+
+func TestKComputerBisection(t *testing.T) {
+	// 6D torus 24x18x17x2x3x2: N = 88128. Halving the longest (even)
+	// dimension: 2N/24 = 7344. Dimensions 17 and 3 are odd, 2s count
+	// single planes — exact search should still pick the 24-dim cut.
+	k := OtherMachines()[0]
+	b, err := k.Bisection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 2*88128/24 {
+		t.Errorf("K computer bisection = %v, want %v", b, 2*88128/24)
+	}
+}
+
+func TestTitanWeightedBisection(t *testing.T) {
+	// Titan 25x16x24 with Y at half weight. Volume 9600 (even).
+	// Candidate cuts: halving X (len 25, odd -> not a clean half... the
+	// exact search considers cuboids of volume 4800). Halving Z:
+	// 2*4800/12... compare with the weighted search result directly
+	// against a hand-computed slab: cuboid 25x16x12 has cut
+	// 2*4800/12 = 800 weighted 1 (Z planes)... verify the search picks
+	// something no worse than that slab.
+	titan := OtherMachines()[1]
+	b, err := titan.Bisection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, err := iso.WeightedCuboidPerimeter(titan.Dims, titan.Weights, torus.Shape{25, 16, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b > slab+1e-9 {
+		t.Errorf("weighted bisection %v worse than Z-slab %v", b, slab)
+	}
+	// The weighted optimum should exploit the cheap Y dimension:
+	// cutting Y (weight 0.5) costs 0.5 * 2 * 4800/8 = 600 < 800.
+	yCut, err := iso.WeightedCuboidPerimeter(titan.Dims, titan.Weights, torus.Shape{25, 8, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-yCut) > 1e-9 {
+		t.Errorf("bisection %v, expected the Y-cut %v", b, yCut)
+	}
+}
+
+func TestPleiadesHypercube(t *testing.T) {
+	p := OtherMachines()[2]
+	if p.NumNodes() != 2048 {
+		t.Errorf("nodes = %d", p.NumNodes())
+	}
+	b, err := p.Bisection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 1024 {
+		t.Errorf("Q11 bisection = %v, want 1024", b)
+	}
+}
+
+func TestHyperXCatalogBisection(t *testing.T) {
+	h := OtherMachines()[3]
+	b, err := h.Bisection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K16 x K8 x K8, V=1024: halving one K8: 4*4*(1024/8) = 2048;
+	// halving K16: 8*8*64 = 4096. Lindsey picks 2048.
+	if b != 2048 {
+		t.Errorf("HyperX bisection = %v, want 2048", b)
+	}
+}
+
+func TestOtherMachineUnknownTopology(t *testing.T) {
+	m := OtherMachine{Name: "x", Topology: "fat-tree"}
+	if _, err := m.Bisection(); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}

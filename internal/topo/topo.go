@@ -1,0 +1,119 @@
+// Package topo constructs the network topologies discussed in §5 of
+// Oltchik & Schwartz (SPAA 2020) as explicit graphs: tori (Blue
+// Gene/Q, ToFu, Cray XK7), hypercubes (Pleiades), HyperX clique
+// products, Dragonfly groups with weighted intra- and inter-group
+// links (Cray XC), and 2D meshes. The explicit graphs feed the exact
+// solvers in package graph, serving both as test oracles for the
+// closed forms in package iso and as the substrate for small-scale
+// small-set-expansion studies.
+package topo
+
+import (
+	"fmt"
+
+	"netpart/internal/graph"
+	"netpart/internal/torus"
+)
+
+// FromTorus converts a torus to an explicit unit-weight graph.
+func FromTorus(t *torus.Torus) *graph.Graph {
+	g := graph.New(t.NumVertices())
+	t.ForEachEdge(func(u, v int) {
+		g.AddEdge(u, v, 1)
+	})
+	return g
+}
+
+// Hypercube returns the D-dimensional hypercube Q_D: vertices are
+// bitstrings of length D, edges connect strings at Hamming distance 1.
+// Equivalently the torus [2]^D under the simple-graph convention.
+func Hypercube(D int) (*graph.Graph, error) {
+	if D < 0 || D > 20 {
+		return nil, fmt.Errorf("topo: hypercube dimension %d out of range [0, 20]", D)
+	}
+	n := 1 << uint(D)
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < D; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+	}
+	return g, nil
+}
+
+// CliqueProduct returns the Cartesian product of cliques
+// K_{dims[0]} x ... x K_{dims[D-1]} — the HyperX topology [2] — with
+// unit edge weights. Vertices are indexed row-major (last coordinate
+// fastest), matching torus linearization.
+func CliqueProduct(dims torus.Shape) (*graph.Graph, error) {
+	return WeightedCliqueProduct(dims, uniformWeights(len(dims)))
+}
+
+// WeightedCliqueProduct is CliqueProduct with per-dimension edge
+// weights, for HyperX variants and Dragonfly groups whose cliques have
+// heterogeneous link capacities.
+func WeightedCliqueProduct(dims torus.Shape, weights []float64) (*graph.Graph, error) {
+	if err := dims.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) != len(dims) {
+		return nil, fmt.Errorf("topo: %d weights for rank-%d product", len(weights), len(dims))
+	}
+	n := dims.Volume()
+	if n > 1<<20 {
+		return nil, fmt.Errorf("topo: clique product with %d vertices too large", n)
+	}
+	strides := make([]int, len(dims))
+	stride := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = stride
+		stride *= dims[i]
+	}
+	g := graph.New(n)
+	coord := make([]int, len(dims))
+	for u := 0; u < n; u++ {
+		for i := range dims {
+			coord[i] = u / strides[i] % dims[i]
+		}
+		for i, a := range dims {
+			// connect to all later vertices along dimension i
+			for c := coord[i] + 1; c < a; c++ {
+				v := u + (c-coord[i])*strides[i]
+				g.AddEdge(u, v, weights[i])
+			}
+		}
+	}
+	return g, nil
+}
+
+// Mesh2D returns the rows x cols grid graph without wrap-around links
+// (the 2-dimensional mesh of Ahlswede & Bezrukov [1]).
+func Mesh2D(rows, cols int) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topo: mesh %dx%d invalid", rows, cols)
+	}
+	g := graph.New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				g.AddEdge(u, u+1, 1)
+			}
+			if r+1 < rows {
+				g.AddEdge(u, u+cols, 1)
+			}
+		}
+	}
+	return g, nil
+}
+
+func uniformWeights(rank int) []float64 {
+	w := make([]float64, rank)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}

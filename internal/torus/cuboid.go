@@ -1,0 +1,159 @@
+package torus
+
+import (
+	"fmt"
+)
+
+// Cuboid is an axis-aligned box of vertices inside a torus: the
+// Cartesian product over dimensions of the cyclic interval
+// [Origin[i], Origin[i]+Lens[i]) mod a_i. Cuboids are the partition
+// shapes supported by Blue Gene/Q allocation (Cartesian products of
+// chains and cycles, paper §2).
+type Cuboid struct {
+	Origin Coord
+	Lens   Shape
+}
+
+// NewCuboid builds a cuboid at the given origin. A nil origin means
+// the all-zeros origin.
+func NewCuboid(origin Coord, lens Shape) Cuboid {
+	if origin == nil {
+		origin = make(Coord, len(lens))
+	}
+	return Cuboid{Origin: origin, Lens: lens.Clone()}
+}
+
+// Volume returns the number of vertices in the cuboid.
+func (c Cuboid) Volume() int { return c.Lens.Volume() }
+
+// String renders the cuboid.
+func (c Cuboid) String() string {
+	return fmt.Sprintf("cuboid %s @ %v", c.Lens, []int(c.Origin))
+}
+
+// validateFor panics unless the cuboid is well-formed for torus t.
+func (c Cuboid) validateFor(t *Torus) {
+	if len(c.Lens) != len(t.dims) {
+		panic(fmt.Sprintf("torus: cuboid rank %d != torus rank %d", len(c.Lens), len(t.dims)))
+	}
+	for i, l := range c.Lens {
+		if l < 1 || l > t.dims[i] {
+			panic(fmt.Sprintf("torus: cuboid length %d out of range (0, %d] in dimension %d", l, t.dims[i], i))
+		}
+		if len(c.Origin) == len(c.Lens) {
+			if c.Origin[i] < 0 || c.Origin[i] >= t.dims[i] {
+				panic(fmt.Sprintf("torus: cuboid origin %v out of range for %s", c.Origin, t.dims))
+			}
+		}
+	}
+}
+
+// Contains reports whether vertex idx lies inside the cuboid.
+func (t *Torus) Contains(c Cuboid, idx int) bool {
+	c.validateFor(t)
+	co := t.CoordOf(idx, nil)
+	for i := range co {
+		rel := co[i] - originAt(c, i)
+		if rel < 0 {
+			rel += t.dims[i]
+		}
+		if rel >= c.Lens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func originAt(c Cuboid, i int) int {
+	if len(c.Origin) == len(c.Lens) {
+		return c.Origin[i]
+	}
+	return 0
+}
+
+// CuboidVertices returns the set of vertex indices inside the cuboid.
+func (t *Torus) CuboidVertices(c Cuboid) map[int]bool {
+	c.validateFor(t)
+	set := make(map[int]bool, c.Volume())
+	coord := make(Coord, len(c.Lens))
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == len(c.Lens) {
+			set[t.Index(coord)] = true
+			return
+		}
+		for off := 0; off < c.Lens[dim]; off++ {
+			coord[dim] = (originAt(c, dim) + off) % t.dims[dim]
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+	return set
+}
+
+// CuboidPerimeter returns |E(S, S-complement)| for the cuboid in closed
+// form. Along dimension i with torus length a and cuboid length s:
+//
+//   - s == a: the cuboid wraps the whole ring, no boundary edges;
+//   - a == 2 (so s == 1): one boundary edge per cross-section vertex
+//     (the +1 and -1 neighbours coincide in a simple graph);
+//   - otherwise: two boundary faces, each with volume/s vertices, each
+//     vertex contributing one edge.
+//
+// This matches the counting argument in the proof of Lemma 3.2 of the
+// paper and is validated against PerimeterOf by the tests.
+func (t *Torus) CuboidPerimeter(c Cuboid) int {
+	c.validateFor(t)
+	vol := c.Volume()
+	per := 0
+	for i, s := range c.Lens {
+		a := t.dims[i]
+		switch {
+		case s == a:
+			// no boundary in a fully covered dimension
+		case a == 2:
+			per += vol / s // s == 1, single edge per column
+		default:
+			per += 2 * vol / s
+		}
+	}
+	return per
+}
+
+// CuboidInterior returns |E(S, S)| for the cuboid in closed form, using
+// the regularity identity k|S| = 2|E(S,S)| + |E(S, S-complement)|
+// restricted per dimension: within dimension i the induced subgraph on
+// a cyclic interval of length s in a ring of length a is a path
+// (s < a), a full ring (s == a >= 3), a single edge (s == a == 2), or
+// empty (s == 1).
+func (t *Torus) CuboidInterior(c Cuboid) int {
+	c.validateFor(t)
+	vol := c.Volume()
+	in := 0
+	for i, s := range c.Lens {
+		a := t.dims[i]
+		cols := vol / s
+		switch {
+		case s == 1:
+			// no internal edges in this dimension
+		case s < a:
+			in += cols * (s - 1) // path on s vertices per column
+		case a == 2:
+			in += cols // single edge per column (s == a == 2)
+		default:
+			in += cols * s // full ring per column
+		}
+	}
+	return in
+}
+
+// SubTorus returns the torus induced by a partition of the given shape,
+// i.e. the network a job allocated that cuboid sees. Blue Gene/Q
+// partitions retain wrap-around links in every dimension even when the
+// partition does not cover the dimension of the host machine (paper
+// §2), so the induced network of a cuboid with lengths L is itself a
+// torus with dimensions L.
+func (t *Torus) SubTorus(c Cuboid) (*Torus, error) {
+	c.validateFor(t)
+	return New(c.Lens...)
+}

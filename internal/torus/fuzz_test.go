@@ -1,0 +1,51 @@
+package torus
+
+import (
+	"testing"
+)
+
+// FuzzParseShape: arbitrary input never panics; accepted inputs
+// round-trip through String (up to whitespace and case).
+func FuzzParseShape(f *testing.F) {
+	for _, seed := range []string{"16x16x12x8x2", "4", "3 x 2", "", "0", "-1x2", "axb", "2X2", "1x1x1x1x1x1x1x1"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sh, err := ParseShape(s)
+		if err != nil {
+			return
+		}
+		if err := sh.Validate(); err != nil {
+			t.Fatalf("ParseShape(%q) accepted invalid shape %v: %v", s, sh, err)
+		}
+		again, err := ParseShape(sh.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", sh.String(), err)
+		}
+		if !again.Equal(sh) {
+			t.Fatalf("round trip %q -> %v -> %v", s, sh, again)
+		}
+	})
+}
+
+// FuzzCuboidPerimeter: for arbitrary small shapes and cuboid lengths,
+// the closed form matches brute force and respects the regularity
+// identity.
+func FuzzCuboidPerimeter(f *testing.F) {
+	f.Add(uint8(4), uint8(3), uint8(2), uint8(2), uint8(2), uint8(1))
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(1), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, a, b, c, la, lb, lc uint8) {
+		dims := Shape{int(a%6) + 1, int(b%6) + 1, int(c%6) + 1}
+		lens := Shape{int(la)%dims[0] + 1, int(lb)%dims[1] + 1, int(lc)%dims[2] + 1}
+		tor := MustNew(dims...)
+		cb := NewCuboid(nil, lens)
+		closed := tor.CuboidPerimeter(cb)
+		brute := tor.PerimeterOf(tor.CuboidVertices(cb))
+		if closed != brute {
+			t.Fatalf("dims %v lens %v: closed %d != brute %d", dims, lens, closed, brute)
+		}
+		if tor.Degree()*cb.Volume() != 2*tor.CuboidInterior(cb)+closed {
+			t.Fatalf("dims %v lens %v: regularity identity violated", dims, lens)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"math/rand"
+
+	"netpart/internal/route"
+	"netpart/internal/torus"
+)
+
+// NearWorstCase searches for a permutation traffic pattern that
+// maximizes the bottleneck link load under the torus's deterministic
+// routing — the "near-worst-case traffic" generation of Jyothi et al.
+// [19], realized as a randomized hill climb: start from the
+// furthest-node pairing (already bisection-saturating), then try
+// destination swaps that increase the maximum link load. The result
+// is a permutation (each node sends and receives exactly once).
+//
+// iters bounds the number of swap attempts; the search is
+// deterministic for a fixed seed.
+func NearWorstCase(t *torus.Torus, bytes float64, iters int, seed int64) []route.Demand {
+	r := route.NewRouter(t)
+	n := t.NumVertices()
+	rng := rand.New(rand.NewSource(seed))
+
+	// dst[i] = destination of node i; start from the antipodal pairing.
+	dst := make([]int, n)
+	for v := 0; v < n; v++ {
+		dst[v] = r.FurthestNode(v)
+	}
+
+	load := make([]float64, r.NumLinks())
+	buf := make([]int, 0, 64)
+	addRoute := func(src, d int, sign float64) {
+		buf = r.Route(src, d, buf[:0])
+		for _, l := range buf {
+			load[l] += sign
+		}
+	}
+	for v := 0; v < n; v++ {
+		addRoute(v, dst[v], 1)
+	}
+	maxLoad := func() float64 {
+		m, _ := route.MaxLoad(load)
+		return m
+	}
+
+	cur := maxLoad()
+	for it := 0; it < iters; it++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b || dst[a] == b || dst[b] == a {
+			continue
+		}
+		// Swap destinations of a and b.
+		addRoute(a, dst[a], -1)
+		addRoute(b, dst[b], -1)
+		dst[a], dst[b] = dst[b], dst[a]
+		addRoute(a, dst[a], 1)
+		addRoute(b, dst[b], 1)
+		if next := maxLoad(); next >= cur {
+			cur = next // keep (accept ties: plateau walks help escape)
+			continue
+		}
+		// Revert.
+		addRoute(a, dst[a], -1)
+		addRoute(b, dst[b], -1)
+		dst[a], dst[b] = dst[b], dst[a]
+		addRoute(a, dst[a], 1)
+		addRoute(b, dst[b], 1)
+	}
+
+	demands := make([]route.Demand, 0, n)
+	for v := 0; v < n; v++ {
+		if v != dst[v] {
+			demands = append(demands, route.Demand{Src: v, Dst: dst[v], Bytes: bytes})
+		}
+	}
+	return demands
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"netpart/internal/route"
+	"netpart/internal/torus"
+)
+
+func TestNearWorstCaseIsPermutation(t *testing.T) {
+	tor := torus.MustNew(4, 4, 2)
+	d := NearWorstCase(tor, 7, 200, 1)
+	seenSrc := map[int]bool{}
+	seenDst := map[int]bool{}
+	for _, dm := range d {
+		if dm.Src == dm.Dst {
+			t.Error("self demand")
+		}
+		if seenSrc[dm.Src] || seenDst[dm.Dst] {
+			t.Error("not a permutation")
+		}
+		seenSrc[dm.Src] = true
+		seenDst[dm.Dst] = true
+		if dm.Bytes != 7 {
+			t.Error("bytes")
+		}
+	}
+}
+
+func TestNearWorstCaseAtLeastPairing(t *testing.T) {
+	// The hill climb starts from the pairing, so its bottleneck load
+	// can only grow.
+	tor := torus.MustNew(8, 4, 4)
+	r := route.NewRouter(tor)
+	pairing := BisectionPairing(r, 1)
+	base, _ := route.MaxLoad(r.LoadMap(pairing))
+	adv := NearWorstCase(tor, 1, 500, 3)
+	got, _ := route.MaxLoad(r.LoadMap(adv))
+	if got < base {
+		t.Errorf("adversarial load %v below pairing %v", got, base)
+	}
+}
+
+func TestNearWorstCaseBeatsRandomPermutations(t *testing.T) {
+	tor := torus.MustNew(6, 4, 2)
+	r := route.NewRouter(tor)
+	adv := NearWorstCase(tor, 1, 1000, 7)
+	advLoad, _ := route.MaxLoad(r.LoadMap(adv))
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		perm := RandomPermutation(tor, 1, rng)
+		load, _ := route.MaxLoad(r.LoadMap(perm))
+		if load > advLoad {
+			t.Errorf("random permutation load %v beats adversarial %v", load, advLoad)
+		}
+	}
+}
+
+func TestNearWorstCaseDeterministic(t *testing.T) {
+	tor := torus.MustNew(4, 4)
+	a := NearWorstCase(tor, 1, 300, 42)
+	b := NearWorstCase(tor, 1, 300, 42)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic for fixed seed")
+		}
+	}
+}
+
+func BenchmarkNearWorstCase(b *testing.B) {
+	tor := torus.MustNew(8, 4, 4, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NearWorstCase(tor, 1, 100, int64(i))
+	}
+}

@@ -1,0 +1,116 @@
+// Package workload generates the traffic patterns of the paper's
+// experiments and of the related-work stress tests: the furthest-node
+// bisection pairing of Chen et al. [12] (§4.1), random permutations,
+// all-to-all, nearest-neighbour halo exchange, and an adversarial
+// pattern that concentrates traffic on the longest dimension. Each
+// generator produces route.Demand lists consumable by the static
+// analyzer (route.LoadMap) and the flow simulator (netsim).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netpart/internal/route"
+	"netpart/internal/torus"
+)
+
+// BisectionPairing pairs every node with the node at maximal hop
+// distance (offset by half of every ring) and exchanges bytes in both
+// directions — the paper's §4.1 benchmark. The returned demands
+// contain one entry per node (its outgoing flow).
+func BisectionPairing(r *route.Router, bytes float64) []route.Demand {
+	n := r.Torus().NumVertices()
+	demands := make([]route.Demand, n)
+	for v := 0; v < n; v++ {
+		demands[v] = route.Demand{Src: v, Dst: r.FurthestNode(v), Bytes: bytes}
+	}
+	return demands
+}
+
+// RandomPermutation sends bytes from every node to a uniformly random
+// distinct target (a derangement is not enforced; self-targets are
+// re-rolled a bounded number of times then skipped).
+func RandomPermutation(t *torus.Torus, bytes float64, rng *rand.Rand) []route.Demand {
+	n := t.NumVertices()
+	perm := rng.Perm(n)
+	demands := make([]route.Demand, 0, n)
+	for v, d := range perm {
+		if v == d {
+			continue
+		}
+		demands = append(demands, route.Demand{Src: v, Dst: d, Bytes: bytes})
+	}
+	return demands
+}
+
+// AllToAll sends bytes between every ordered pair of distinct nodes.
+// Feasible only for small tori (n^2 demands).
+func AllToAll(t *torus.Torus, bytes float64) ([]route.Demand, error) {
+	n := t.NumVertices()
+	if n > 4096 {
+		return nil, fmt.Errorf("workload: all-to-all on %d nodes is too large", n)
+	}
+	demands := make([]route.Demand, 0, n*(n-1))
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				demands = append(demands, route.Demand{Src: s, Dst: d, Bytes: bytes})
+			}
+		}
+	}
+	return demands, nil
+}
+
+// NearestNeighbor sends bytes from every node to each of its torus
+// neighbours — the halo-exchange pattern of stencil codes, which is
+// contention-free under dimension-ordered routing.
+func NearestNeighbor(t *torus.Torus, bytes float64) []route.Demand {
+	var demands []route.Demand
+	t.ForEachVertex(func(v int) {
+		for _, nb := range t.Neighbors(v, nil) {
+			demands = append(demands, route.Demand{Src: v, Dst: nb, Bytes: bytes})
+		}
+	})
+	return demands
+}
+
+// LongestDimShift shifts every node by half of the longest dimension
+// only — the pure worst-case pattern for a partition's bisection, used
+// by the machine-design ablations.
+func LongestDimShift(t *torus.Torus, bytes float64) []route.Demand {
+	dims := t.Dims()
+	longest := 0
+	for i, a := range dims {
+		if a > dims[longest] {
+			longest = i
+		}
+	}
+	strides := make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	n := t.NumVertices()
+	demands := make([]route.Demand, 0, n)
+	a := dims[longest]
+	if a < 2 {
+		return demands
+	}
+	for v := 0; v < n; v++ {
+		c := v / strides[longest] % a
+		dst := v + (((c+a/2)%a)-c)*strides[longest]
+		demands = append(demands, route.Demand{Src: v, Dst: dst, Bytes: bytes})
+	}
+	return demands
+}
+
+// TotalBytes sums the demand volumes.
+func TotalBytes(demands []route.Demand) float64 {
+	t := 0.0
+	for _, d := range demands {
+		t += d.Bytes
+	}
+	return t
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"netpart/internal/route"
+	"netpart/internal/torus"
+)
+
+func TestBisectionPairing(t *testing.T) {
+	tor := torus.MustNew(8, 4, 2)
+	r := route.NewRouter(tor)
+	d := BisectionPairing(r, 100)
+	if len(d) != tor.NumVertices() {
+		t.Fatalf("%d demands", len(d))
+	}
+	// Pairing is an involution: demands come in symmetric pairs.
+	dst := map[int]int{}
+	for _, dm := range d {
+		dst[dm.Src] = dm.Dst
+		if dm.Bytes != 100 {
+			t.Error("bytes")
+		}
+	}
+	for s, dd := range dst {
+		if dst[dd] != s {
+			t.Errorf("pairing not symmetric: %d -> %d -> %d", s, dd, dst[dd])
+		}
+		if s == dd {
+			t.Errorf("self pairing at %d", s)
+		}
+	}
+	if TotalBytes(d) != 100*float64(len(d)) {
+		t.Error("total")
+	}
+}
+
+func TestRandomPermutation(t *testing.T) {
+	tor := torus.MustNew(4, 4)
+	rng := rand.New(rand.NewSource(3))
+	d := RandomPermutation(tor, 5, rng)
+	if len(d) == 0 || len(d) > 16 {
+		t.Fatalf("%d demands", len(d))
+	}
+	seenSrc := map[int]bool{}
+	seenDst := map[int]bool{}
+	for _, dm := range d {
+		if dm.Src == dm.Dst {
+			t.Error("self demand")
+		}
+		if seenSrc[dm.Src] || seenDst[dm.Dst] {
+			t.Error("not a permutation")
+		}
+		seenSrc[dm.Src] = true
+		seenDst[dm.Dst] = true
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	tor := torus.MustNew(3, 2)
+	d, err := AllToAll(tor, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 6*5 {
+		t.Errorf("%d demands, want 30", len(d))
+	}
+	big := torus.MustNew(26, 26, 8)
+	if _, err := AllToAll(big, 1); err == nil {
+		t.Error("oversized all-to-all should fail")
+	}
+}
+
+func TestNearestNeighborContentionFree(t *testing.T) {
+	tor := torus.MustNew(6, 4)
+	r := route.NewRouter(tor)
+	d := NearestNeighbor(tor, 7)
+	if len(d) != tor.NumVertices()*tor.Degree() {
+		t.Fatalf("%d demands", len(d))
+	}
+	// Single-hop demands: each directed link carries at most one.
+	load := r.LoadMap(d)
+	maxL, _ := route.MaxLoad(load)
+	if maxL != 7 {
+		t.Errorf("halo exchange bottleneck %v, want 7 (contention-free)", maxL)
+	}
+}
+
+func TestLongestDimShift(t *testing.T) {
+	tor := torus.MustNew(8, 4, 2)
+	r := route.NewRouter(tor)
+	d := LongestDimShift(tor, 1)
+	if len(d) != tor.NumVertices() {
+		t.Fatalf("%d demands", len(d))
+	}
+	// All traffic in dimension 0: bottleneck = L/2 = 4 flows.
+	maxL, link := route.MaxLoad(r.LoadMap(d))
+	if maxL != 4 {
+		t.Errorf("bottleneck %v, want 4", maxL)
+	}
+	_, dim, _ := r.LinkInfo(link)
+	if dim != 0 {
+		t.Errorf("bottleneck in dimension %d, want 0", dim)
+	}
+	// Degenerate: all dims length 1.
+	if d := LongestDimShift(torus.MustNew(1, 1), 1); len(d) != 0 {
+		t.Error("degenerate shift should be empty")
+	}
+}

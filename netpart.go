@@ -1,0 +1,123 @@
+// Package netpart is a from-scratch Go reproduction of Oltchik &
+// Schwartz, "Network Partitioning and Avoidable Contention" (SPAA
+// 2020): edge-isoperimetric analysis of torus networks, Blue Gene/Q
+// partition-geometry optimization, and the simulation infrastructure
+// that regenerates every table and figure of the paper's evaluation.
+//
+// This root package is a facade over the implementation packages:
+//
+//   - internal/torus, internal/iso: torus graphs and the
+//     edge-isoperimetric bounds (Theorems 2.1/3.1, Harper, Lindsey);
+//   - internal/bgq: the Blue Gene/Q machine catalog and allocation
+//     policies;
+//   - internal/route, internal/netsim, internal/mpi: deterministic
+//     dimension-ordered routing, the flow-level contention simulator,
+//     and the goroutine-per-rank simulated MPI;
+//   - internal/matrix, internal/strassen, internal/model: the
+//     Strassen-Winograd workload and the calibrated CAPS cost model;
+//   - internal/experiments: the per-table/per-figure generators.
+//
+// Quick start:
+//
+//	m := netpart.Mira()
+//	current, _ := m.Predefined(24)          // 4x3x2x1, bisection 1536
+//	proposed, _ := m.Proposed(24)           // 3x2x2x2, bisection 2048
+//	speedup, _ := netpart.SpeedupBound(current, proposed) // 1.33x
+//
+// See the examples/ directory for runnable programs and cmd/ for the
+// analysis tools.
+package netpart
+
+import (
+	"netpart/internal/bgq"
+	"netpart/internal/experiments"
+	"netpart/internal/iso"
+	"netpart/internal/model"
+	"netpart/internal/torus"
+)
+
+// Shape is a torus or partition geometry: a list of dimension lengths.
+type Shape = torus.Shape
+
+// Torus is a D-dimensional torus graph.
+type Torus = torus.Torus
+
+// Machine is a Blue Gene/Q system model.
+type Machine = bgq.Machine
+
+// Partition is a Blue Gene/Q allocation: a cuboid of midplanes.
+type Partition = bgq.Partition
+
+// ParseShape parses "16x16x12x8x2"-style geometry strings.
+func ParseShape(s string) (Shape, error) { return torus.ParseShape(s) }
+
+// NewTorus constructs a torus graph with the given dimension lengths.
+func NewTorus(dims ...int) (*Torus, error) { return torus.New(dims...) }
+
+// NewPartition builds a partition from a midplane geometry.
+func NewPartition(geom Shape) (Partition, error) { return bgq.NewPartition(geom) }
+
+// Machine catalog (paper §2, §5).
+var (
+	// Mira returns the 96-midplane Argonne system with its predefined
+	// partition list.
+	Mira = bgq.Mira
+	// Juqueen returns the 56-midplane Jülich system (free allocation).
+	Juqueen = bgq.Juqueen
+	// Sequoia returns the 192-midplane Livermore system.
+	Sequoia = bgq.Sequoia
+	// Juqueen54 and Juqueen48 are the hypothetical balanced machines
+	// of the paper's machine-design discussion.
+	Juqueen54 = bgq.Juqueen54
+	Juqueen48 = bgq.Juqueen48
+)
+
+// TorusBound evaluates the paper's Theorem 3.1: the generalized
+// edge-isoperimetric lower bound for an arbitrary torus, returning the
+// bound and the minimizing r.
+func TorusBound(dims Shape, t int) (float64, int) { return iso.TorusBound(dims, t) }
+
+// Bisection returns the exact internal bisection (minimal half-volume
+// cuboid cut) of a torus.
+func Bisection(dims Shape) (iso.CuboidResult, error) { return iso.Bisection(dims) }
+
+// MinCuboidPerimeter solves the edge-isoperimetric problem exactly
+// over cuboid subsets of volume t.
+func MinCuboidPerimeter(dims Shape, t int) (iso.CuboidResult, error) {
+	return iso.MinCuboidPerimeter(dims, t)
+}
+
+// SpeedupBound returns the predicted contention-bound runtime ratio
+// between two equal-size partitions (the inverse bisection ratio).
+func SpeedupBound(worse, better Partition) (float64, error) {
+	return model.SpeedupBound(worse, better)
+}
+
+// Experiment generators: each regenerates one table or figure of the
+// paper (see DESIGN.md for the index and EXPERIMENTS.md for
+// paper-vs-measured values).
+var (
+	Table1  = experiments.Table1
+	Table2  = experiments.Table2
+	Table3  = experiments.Table3
+	Table4  = experiments.Table4
+	Table5  = experiments.Table5
+	Table6  = experiments.Table6
+	Table7  = experiments.Table7
+	Figure1 = experiments.Figure1
+	Figure2 = experiments.Figure2
+	Figure5 = experiments.Figure5
+	Figure6 = experiments.Figure6
+	Figure7 = experiments.Figure7
+)
+
+// Figure3 regenerates the Mira bisection-pairing experiment through
+// the flow-level simulator.
+func Figure3(fullRounds bool) (experiments.PairingFigure, error) {
+	return experiments.Figure3(fullRounds)
+}
+
+// Figure4 regenerates the JUQUEEN bisection-pairing experiment.
+func Figure4(fullRounds bool) (experiments.PairingFigure, error) {
+	return experiments.Figure4(fullRounds)
+}

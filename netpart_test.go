@@ -1,0 +1,77 @@
+package netpart_test
+
+import (
+	"testing"
+
+	"netpart"
+)
+
+// TestFacadeCoherence exercises every facade entry point and checks
+// the re-exports agree with each other.
+func TestFacadeCoherence(t *testing.T) {
+	tor, err := netpart.NewTorus(6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.NumVertices() != 48 {
+		t.Errorf("vertices = %d", tor.NumVertices())
+	}
+	if _, err := netpart.NewTorus(); err == nil {
+		t.Error("empty torus should fail")
+	}
+
+	p, err := netpart.NewPartition(netpart.Shape{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BisectionBW() != 512 {
+		t.Errorf("BW = %d", p.BisectionBW())
+	}
+
+	// Bound never exceeds the exact cuboid value.
+	dims := netpart.Shape{8, 6, 4}
+	for _, tt := range []int{4, 12, 48, 96} {
+		bound, _ := netpart.TorusBound(dims, tt)
+		res, err := netpart.MinCuboidPerimeter(dims, tt)
+		if err != nil {
+			continue
+		}
+		if float64(res.Perimeter) < bound-1e-6 {
+			t.Errorf("t=%d: exact %d below bound %v", tt, res.Perimeter, bound)
+		}
+	}
+
+	// Machines and experiment generators.
+	if netpart.Sequoia().Nodes() != 98304 || netpart.Juqueen54().Midplanes() != 54 || netpart.Juqueen48().Midplanes() != 48 {
+		t.Error("catalog")
+	}
+	if len(netpart.Table3().Rows) != 4 || len(netpart.Table4().Rows) != 3 || len(netpart.Table5().Rows) != 24 {
+		t.Error("table generators")
+	}
+	if len(netpart.Figure2().X) != 19 || len(netpart.Figure7().Series) != 3 {
+		t.Error("figure generators")
+	}
+	if f, err := netpart.Figure5(); err != nil || len(f.PointsA) != 4 {
+		t.Errorf("Figure5: %v", err)
+	}
+	if f, err := netpart.Figure6(); err != nil || len(f.PointsA) != 3 {
+		t.Errorf("Figure6: %v", err)
+	}
+	fig3, err := netpart.Figure3(false)
+	if err != nil || fig3.MaxSpeedup() < 1.9 {
+		t.Errorf("Figure3: %v, speedup %v", err, fig3.MaxSpeedup())
+	}
+	fig4, err := netpart.Figure4(false)
+	if err != nil || fig4.MaxSpeedup() < 1.9 {
+		t.Errorf("Figure4: %v, speedup %v", err, fig4.MaxSpeedup())
+	}
+
+	// Bisection wrapper agrees with the partition method.
+	res, err := netpart.Bisection(p.NodeShape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Perimeter != p.BisectionBW() {
+		t.Errorf("facade bisection %d != partition %d", res.Perimeter, p.BisectionBW())
+	}
+}
