@@ -1,0 +1,3 @@
+module netpart
+
+go 1.24

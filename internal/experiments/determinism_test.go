@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestParallelDriversMatchSequential pins down the worker-pool
+// contract: every generator that fans out over the pool must render
+// byte-identical output whether it runs sequentially (Workers=1) or on
+// a heavily oversubscribed pool. Rendered tables are the golden form —
+// they capture row order, cell formatting, and every numeric value.
+func TestParallelDriversMatchSequential(t *testing.T) {
+	gens := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"Figure3", func() (string, error) {
+			f, err := Figure3(false)
+			if err != nil {
+				return "", err
+			}
+			return f.Table().Render(), nil
+		}},
+		{"Figure4", func() (string, error) {
+			f, err := Figure4(false)
+			if err != nil {
+				return "", err
+			}
+			return f.Table().Render(), nil
+		}},
+		{"Table5", func() (string, error) { return Table5().Render(), nil }},
+		{"Table6", func() (string, error) { return Table6().Render(), nil }},
+		{"Table7", func() (string, error) { return Table7().Render(), nil }},
+		{"Figure1", func() (string, error) { return Figure1().Table().Render(), nil }},
+		{"Figure2", func() (string, error) { return Figure2().Table().Render(), nil }},
+	}
+	defer func(old int) { Workers = old }(Workers)
+	for _, g := range gens {
+		t.Run(g.name, func(t *testing.T) {
+			Workers = 1
+			seq, err := g.run()
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			Workers = 8
+			par, err := g.run()
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if seq != par {
+				t.Errorf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+			}
+		})
+	}
+}
+
+// TestForEachErrorOrder verifies the pool surfaces the lowest-index
+// error, matching what a sequential loop reports first.
+func TestForEachErrorOrder(t *testing.T) {
+	defer func(old int) { Workers = old }(Workers)
+	for _, workers := range []int{1, 4} {
+		Workers = workers
+		err := forEach(10, func(i int) error {
+			if i == 3 || i == 7 {
+				return errIndexed(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "unit 3 failed" {
+			t.Errorf("Workers=%d: err = %v, want unit 3 failed", workers, err)
+		}
+	}
+}
+
+type errIndexed int
+
+func (e errIndexed) Error() string { return "unit " + string(rune('0'+int(e))) + " failed" }

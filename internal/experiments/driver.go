@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers bounds the experiment drivers' worker pool. Every generator
+// in this package that fans out over independent rows or figure points
+// (the per-partition rows of Tables 5/6/7, the per-size sweeps of
+// Figures 1/2, the per-point pairing simulations of Figures 3/4) runs
+// its units through forEach, which executes them on up to Workers
+// goroutines while writing results into index-addressed slots — so the
+// assembled output is byte-identical to the sequential order no matter
+// how the units interleave (TestParallelDriversMatchSequential pins
+// this down).
+//
+// The default is the runnable-CPU count; set to 1 to force the
+// sequential path. Tests may mutate it, but it should not be changed
+// while a generator is running.
+var Workers = runtime.GOMAXPROCS(0)
+
+// forEach runs fn(0..n-1) on a bounded pool of min(Workers, n)
+// goroutines and returns the lowest-index error, mirroring what a
+// sequential loop would have surfaced first. Work is handed out
+// through an atomic counter, so the pool stays busy even when unit
+// costs are skewed (large partitions take far longer than small
+// ones). Once any unit errors, workers stop picking up new units
+// (in-flight units finish), matching the sequential path's
+// stop-on-first-error behavior.
+func forEach(n int, fn func(i int) error) error {
+	workers := Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -56,14 +56,19 @@ func Table2() tabulate.Table {
 	return t
 }
 
-// Table6 reproduces paper Table 6: the full Mira partition list.
+// Table6 reproduces paper Table 6: the full Mira partition list. Rows
+// are computed on the worker pool (each involves a best-geometry
+// search) and assembled in size order.
 func Table6() tabulate.Table {
 	t := tabulate.Table{
 		Title:   "Table 6: Mira current and proposed partitions (full list)",
 		Headers: []string{"P (nodes)", "Midplanes", "Current", "BW", "New Geometry", "New BW"},
 	}
 	mira := bgq.Mira()
-	for _, size := range mira.PredefinedSizes() {
+	sizes := mira.PredefinedSizes()
+	rows := make([][]any, len(sizes))
+	_ = forEach(len(sizes), func(i int) error {
+		size := sizes[i]
 		cur, _ := mira.Predefined(size)
 		prop, improved := mira.Proposed(size)
 		ps, pbw := "", ""
@@ -71,19 +76,27 @@ func Table6() tabulate.Table {
 			ps = prop.String()
 			pbw = fmt.Sprintf("%d", prop.BisectionBW())
 		}
-		t.AddRow(cur.Nodes(), size, cur.String(), cur.BisectionBW(), ps, pbw)
+		rows[i] = []any{cur.Nodes(), size, cur.String(), cur.BisectionBW(), ps, pbw}
+		return nil
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
 
 // Table7 reproduces paper Table 7: the full JUQUEEN worst/best list.
+// Each row's worst/best geometry search runs on the worker pool.
 func Table7() tabulate.Table {
 	t := tabulate.Table{
 		Title:   "Table 7: JUQUEEN allocation best and worst cases (full list)",
 		Headers: []string{"P (nodes)", "Midplanes", "Worst", "Worst BW", "Best", "Best BW"},
 	}
 	jq := bgq.Juqueen()
-	for _, size := range jq.FeasibleSizes() {
+	sizes := jq.FeasibleSizes()
+	rows := make([][]any, len(sizes))
+	_ = forEach(len(sizes), func(i int) error {
+		size := sizes[i]
 		worst, _ := jq.Worst(size)
 		best, _ := jq.Best(size)
 		bs, bbw := "", ""
@@ -91,7 +104,11 @@ func Table7() tabulate.Table {
 			bs = best.String()
 			bbw = fmt.Sprintf("%d", best.BisectionBW())
 		}
-		t.AddRow(worst.Nodes(), size, worst.String(), worst.BisectionBW(), bs, bbw)
+		rows[i] = []any{worst.Nodes(), size, worst.String(), worst.BisectionBW(), bs, bbw}
+		return nil
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -105,7 +122,9 @@ func Table5() tabulate.Table {
 	}
 	jq, j54, j48 := bgq.Juqueen(), bgq.Juqueen54(), bgq.Juqueen48()
 	sizes := unionSizes(jq, j54, j48)
-	for _, size := range sizes {
+	rows := make([][]any, len(sizes))
+	_ = forEach(len(sizes), func(i int) error {
+		size := sizes[i]
 		cells := []any{size * bgq.MidplaneNodes, size}
 		for _, m := range []*bgq.Machine{jq, j54, j48} {
 			if best, ok := m.Best(size); ok {
@@ -114,7 +133,11 @@ func Table5() tabulate.Table {
 				cells = append(cells, "", "")
 			}
 		}
-		t.AddRow(cells...)
+		rows[i] = cells
+		return nil
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -181,18 +204,20 @@ func (f BWFigure) Chart() tabulate.Chart {
 func Figure1() BWFigure {
 	mira := bgq.Mira()
 	f := BWFigure{Title: "Figure 1: Mira normalized bisection bandwidth"}
-	cur := tabulate.Series{Label: "current"}
-	prop := tabulate.Series{Label: "proposed"}
-	for _, size := range mira.PredefinedSizes() {
-		c, _ := mira.Predefined(size)
-		f.X = append(f.X, size)
-		cur.Y = append(cur.Y, float64(c.BisectionBW()))
-		if p, ok := mira.Proposed(size); ok {
-			prop.Y = append(prop.Y, float64(p.BisectionBW()))
+	sizes := mira.PredefinedSizes()
+	cur := tabulate.Series{Label: "current", Y: make([]float64, len(sizes))}
+	prop := tabulate.Series{Label: "proposed", Y: make([]float64, len(sizes))}
+	f.X = append(f.X, sizes...)
+	_ = forEach(len(sizes), func(i int) error {
+		c, _ := mira.Predefined(sizes[i])
+		cur.Y[i] = float64(c.BisectionBW())
+		if p, ok := mira.Proposed(sizes[i]); ok {
+			prop.Y[i] = float64(p.BisectionBW())
 		} else {
-			prop.Y = append(prop.Y, float64(c.BisectionBW()))
+			prop.Y[i] = cur.Y[i]
 		}
-	}
+		return nil
+	})
 	f.Series = []tabulate.Series{cur, prop}
 	return f
 }
@@ -203,15 +228,17 @@ func Figure1() BWFigure {
 func Figure2() BWFigure {
 	jq := bgq.Juqueen()
 	f := BWFigure{Title: "Figure 2: JUQUEEN best/worst normalized bisection bandwidth"}
-	worst := tabulate.Series{Label: "worst-case"}
-	best := tabulate.Series{Label: "best-case"}
-	for _, size := range jq.FeasibleSizes() {
-		w, _ := jq.Worst(size)
-		b, _ := jq.Best(size)
-		f.X = append(f.X, size)
-		worst.Y = append(worst.Y, float64(w.BisectionBW()))
-		best.Y = append(best.Y, float64(b.BisectionBW()))
-	}
+	sizes := jq.FeasibleSizes()
+	worst := tabulate.Series{Label: "worst-case", Y: make([]float64, len(sizes))}
+	best := tabulate.Series{Label: "best-case", Y: make([]float64, len(sizes))}
+	f.X = append(f.X, sizes...)
+	_ = forEach(len(sizes), func(i int) error {
+		w, _ := jq.Worst(sizes[i])
+		b, _ := jq.Best(sizes[i])
+		worst.Y[i] = float64(w.BisectionBW())
+		best.Y[i] = float64(b.BisectionBW())
+		return nil
+	})
 	f.Series = []tabulate.Series{worst, best}
 	return f
 }
@@ -223,16 +250,18 @@ func Figure7() BWFigure {
 	f := BWFigure{Title: "Figure 7: JUQUEEN vs hypothetical machines (best-case BW)"}
 	f.X = unionSizes(machines...)
 	for _, m := range machines {
-		s := tabulate.Series{Label: m.Name}
-		for _, size := range f.X {
-			if best, ok := m.Best(size); ok {
-				s.Y = append(s.Y, float64(best.BisectionBW()))
+		f.Series = append(f.Series, tabulate.Series{Label: m.Name, Y: make([]float64, len(f.X))})
+	}
+	_ = forEach(len(f.X), func(i int) error {
+		for mi, m := range machines {
+			if best, ok := m.Best(f.X[i]); ok {
+				f.Series[mi].Y[i] = float64(best.BisectionBW())
 			} else {
-				s.Y = append(s.Y, math.NaN())
+				f.Series[mi].Y[i] = math.NaN()
 			}
 		}
-		f.Series = append(f.Series, s)
-	}
+		return nil
+	})
 	return f
 }
 

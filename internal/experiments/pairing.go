@@ -68,6 +68,37 @@ func SimulatePairing(cfg model.PairingConfig, fullRounds bool) (float64, error) 
 	return total, nil
 }
 
+// pairingPoints measures two partition series through the flow-level
+// simulator on the worker pool. Points are interleaved (A0, B0, A1,
+// B1, ...) so the expensive large-partition pairs spread across
+// workers, and results land in index-addressed slots, keeping the
+// output identical to the sequential order.
+func pairingPoints(a, b []bgq.Partition, fullRounds bool) (ptsA, ptsB []PairingPoint, err error) {
+	n := len(a)
+	pts := make([]PairingPoint, 2*n)
+	err = forEach(2*n, func(i int) error {
+		p := a[i/2]
+		if i%2 == 1 {
+			p = b[i/2]
+		}
+		pt, err := pairingPoint(p, fullRounds)
+		if err != nil {
+			return err
+		}
+		pts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ptsA = make([]PairingPoint, n)
+	ptsB = make([]PairingPoint, n)
+	for i := 0; i < n; i++ {
+		ptsA[i], ptsB[i] = pts[2*i], pts[2*i+1]
+	}
+	return ptsA, ptsB, nil
+}
+
 // pairingPoint measures one partition.
 func pairingPoint(p bgq.Partition, fullRounds bool) (PairingPoint, error) {
 	cfg := model.PaperPairing(p)
@@ -94,27 +125,26 @@ func Figure3(fullRounds bool) (PairingFigure, error) {
 		SeriesA: "current",
 		SeriesB: "proposed",
 	}
-	for _, mp := range []int{4, 8, 16, 24} {
-		cur, ok := mira.Predefined(mp)
+	mps := []int{4, 8, 16, 24}
+	partsA := make([]bgq.Partition, len(mps))
+	partsB := make([]bgq.Partition, len(mps))
+	if err := forEach(len(mps), func(i int) error {
+		cur, ok := mira.Predefined(mps[i])
 		if !ok {
-			return fig, fmt.Errorf("experiments: Mira has no predefined %d-midplane partition", mp)
+			return fmt.Errorf("experiments: Mira has no predefined %d-midplane partition", mps[i])
 		}
-		prop, ok := mira.Proposed(mp)
+		prop, ok := mira.Proposed(mps[i])
 		if !ok {
-			return fig, fmt.Errorf("experiments: Mira has no proposed %d-midplane partition", mp)
+			return fmt.Errorf("experiments: Mira has no proposed %d-midplane partition", mps[i])
 		}
-		pa, err := pairingPoint(cur, fullRounds)
-		if err != nil {
-			return fig, err
-		}
-		pb, err := pairingPoint(prop, fullRounds)
-		if err != nil {
-			return fig, err
-		}
-		fig.PointsA = append(fig.PointsA, pa)
-		fig.PointsB = append(fig.PointsB, pb)
+		partsA[i], partsB[i] = cur, prop
+		return nil
+	}); err != nil {
+		return fig, err
 	}
-	return fig, nil
+	var err error
+	fig.PointsA, fig.PointsB, err = pairingPoints(partsA, partsB, fullRounds)
+	return fig, err
 }
 
 // Figure4 reproduces paper Figure 4: the bisection-pairing experiment
@@ -127,24 +157,23 @@ func Figure4(fullRounds bool) (PairingFigure, error) {
 		SeriesA: "worst-case",
 		SeriesB: "best-case",
 	}
-	for _, mp := range []int{4, 6, 8, 12, 16} {
-		worst, ok := jq.Worst(mp)
+	mps := []int{4, 6, 8, 12, 16}
+	partsA := make([]bgq.Partition, len(mps))
+	partsB := make([]bgq.Partition, len(mps))
+	if err := forEach(len(mps), func(i int) error {
+		worst, ok := jq.Worst(mps[i])
 		if !ok {
-			return fig, fmt.Errorf("experiments: JUQUEEN has no %d-midplane partition", mp)
+			return fmt.Errorf("experiments: JUQUEEN has no %d-midplane partition", mps[i])
 		}
-		best, _ := jq.Best(mp)
-		pa, err := pairingPoint(worst, fullRounds)
-		if err != nil {
-			return fig, err
-		}
-		pb, err := pairingPoint(best, fullRounds)
-		if err != nil {
-			return fig, err
-		}
-		fig.PointsA = append(fig.PointsA, pa)
-		fig.PointsB = append(fig.PointsB, pb)
+		best, _ := jq.Best(mps[i])
+		partsA[i], partsB[i] = worst, best
+		return nil
+	}); err != nil {
+		return fig, err
 	}
-	return fig, nil
+	var err error
+	fig.PointsA, fig.PointsB, err = pairingPoints(partsA, partsB, fullRounds)
+	return fig, err
 }
 
 // Table renders the pairing figure as a table with simulated and

@@ -3,6 +3,7 @@ package iso
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"netpart/internal/torus"
 )
@@ -73,12 +74,25 @@ func MaxCuboidPerimeter(dims torus.Shape, t int) (CuboidResult, error) {
 	return best, nil
 }
 
+// bisectionCache memoizes Bisection results keyed by the exact shape
+// string. The bgq allocation policies re-run the same cuboid search
+// for the same geometry dozens of times per table (every Best/Worst
+// call enumerates all geometries of a size, and the experiment
+// drivers revisit each geometry across tables and figures), so the
+// cache turns all but the first search per shape into a lookup. It is
+// a sync.Map because the experiment drivers probe it from a worker
+// pool; the key space is bounded by the distinct partition shapes of
+// the machine catalog.
+var bisectionCache sync.Map // string -> CuboidResult
+
 // Bisection returns the exact minimal perimeter over cuboids of volume
 // |V|/2 — the (internal) bisection bandwidth of the torus in link
 // units, under the paper's working assumption (§2, Small Set
 // Expansion) that the bisection is attained by a cuboid. For the torus
 // shapes arising from Blue Gene/Q partitions this matches the 2N/L
 // closed form of Chen et al. [12], which package bgq cross-checks.
+//
+// Results are memoized per shape and safe for concurrent use.
 func Bisection(dims torus.Shape) (CuboidResult, error) {
 	v := dims.Volume()
 	if v < 2 {
@@ -87,7 +101,20 @@ func Bisection(dims torus.Shape) (CuboidResult, error) {
 	if v%2 != 0 {
 		return CuboidResult{}, fmt.Errorf("iso: torus %v has odd vertex count %d", dims, v)
 	}
-	return MinCuboidPerimeter(dims, v/2)
+	key := dims.String()
+	if c, ok := bisectionCache.Load(key); ok {
+		res := c.(CuboidResult)
+		res.Lens = res.Lens.Clone() // callers may mutate the returned shape
+		return res, nil
+	}
+	res, err := MinCuboidPerimeter(dims, v/2)
+	if err != nil {
+		return res, err
+	}
+	stored := res
+	stored.Lens = res.Lens.Clone()
+	bisectionCache.Store(key, stored)
+	return res, nil
 }
 
 // BisectionBandwidth2NL evaluates the closed-form bisection bandwidth

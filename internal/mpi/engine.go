@@ -194,6 +194,10 @@ type engine struct {
 
 	flowOps map[netsim.FlowID][2]*op // flow -> {send, recv}
 
+	// routeBuf is the reusable DOR route scratch; netsim.StartFlow
+	// copies the route, so one buffer serves every flow creation.
+	routeBuf []int
+
 	messages       int
 	totalBytes     float64
 	computeSeconds float64
@@ -555,7 +559,8 @@ func (e *engine) createFlowLocked(sd, rv *op) {
 	dstNode := e.cfg.RankToNode[rv.rank]
 	var links []int
 	if srcNode != dstNode {
-		links = e.router.Route(srcNode, dstNode, nil)
+		links = e.router.Route(srcNode, dstNode, e.routeBuf[:0])
+		e.routeBuf = links
 	}
 	latency := e.cfg.AlphaSec + e.cfg.PerHopSec*float64(len(links))
 	fid := e.sim.StartFlow(links, sd.bytes, latency)

@@ -26,6 +26,36 @@
 //
 // See the examples/ directory for runnable programs and cmd/ for the
 // analysis tools.
+//
+// # Performance architecture
+//
+// The evaluation pipeline is built for throughput:
+//
+//   - internal/netsim's max-min fair engine keeps flows in a
+//     free-list-backed arena addressed by dense IDs, indexes
+//     link→flows in a flat CSR layout rebuilt once per rate epoch, and
+//     runs progressive filling over flat per-link capacity/count
+//     arrays — no maps or sorting on any hot path, and completion
+//     cohorts (thousands of symmetric flows finishing together) cost
+//     one event instead of one per flow.
+//   - internal/experiments fans independent rows and figure points out
+//     over a bounded worker pool (experiments.Workers) whose output is
+//     byte-identical to the sequential order; set Workers=1 to force
+//     the sequential path.
+//   - internal/iso memoizes the exact bisection cuboid search per
+//     shape, so the allocation policies' repeated geometry sweeps
+//     reduce to cache lookups after first contact.
+//
+// To compare engine performance across changes, run the benchmark
+// harness before and after:
+//
+//	go test -run='^$' -bench=. -benchmem > before.txt   # on the old tree
+//	go test -run='^$' -bench=. -benchmem > after.txt    # on the new tree
+//	benchstat before.txt after.txt                      # or diff by eye
+//
+// BenchmarkMaxMinFair (cold-start engine), BenchmarkMaxMinFairSteadyState
+// (reused engine, the mpi regime), and the per-table/per-figure
+// benchmarks are the headline series.
 package netpart
 
 import (
