@@ -1,9 +1,10 @@
 package netpart
 
 // Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation (see DESIGN.md §3 for the index). Each benchmark
-// regenerates its artifact end-to-end, so `go test -bench=.` is the
-// full reproduction run; b.ReportMetric attaches the headline numbers
+// evaluation (see DESIGN.md for the index). Each benchmark regenerates
+// its artifact end-to-end through the experiments Config API (default
+// worker pool, background context), so `go test -bench=.` is the full
+// reproduction run; b.ReportMetric attaches the headline numbers
 // (bisection bandwidths, speedups, simulated seconds) to the output.
 //
 // Supporting ablation benches cover the computational kernels the
@@ -12,6 +13,7 @@ package netpart
 // Strassen-vs-classical crossover.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -24,15 +26,34 @@ import (
 	"netpart/internal/netsim"
 	"netpart/internal/route"
 	"netpart/internal/strassen"
+	"netpart/internal/tabulate"
 	"netpart/internal/torus"
 	"netpart/internal/workload"
 )
+
+// benchTable regenerates one table with default options, failing the
+// benchmark on error.
+func benchTable(b *testing.B, gen func(experiments.Config, context.Context) (tabulate.Table, error)) tabulate.Table {
+	tab, err := gen(experiments.Config{}, context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+func benchBW(b *testing.B, gen func(experiments.Config, context.Context) (experiments.BWFigure, error)) experiments.BWFigure {
+	f, err := gen(experiments.Config{}, context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
 
 // --- Tables ---
 
 func BenchmarkTable1Mira(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.Table1().Rows) != 4 {
+		if len(benchTable(b, experiments.Config.Table1).Rows) != 4 {
 			b.Fatal("table 1 wrong")
 		}
 	}
@@ -40,7 +61,7 @@ func BenchmarkTable1Mira(b *testing.B) {
 
 func BenchmarkTable2Juqueen(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.Table2().Rows) != 6 {
+		if len(benchTable(b, experiments.Config.Table2).Rows) != 6 {
 			b.Fatal("table 2 wrong")
 		}
 	}
@@ -48,7 +69,7 @@ func BenchmarkTable2Juqueen(b *testing.B) {
 
 func BenchmarkTable3MatmulParams(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.Table3().Rows) != 4 {
+		if len(benchTable(b, experiments.Config.Table3).Rows) != 4 {
 			b.Fatal("table 3 wrong")
 		}
 	}
@@ -56,7 +77,7 @@ func BenchmarkTable3MatmulParams(b *testing.B) {
 
 func BenchmarkTable4ScalingParams(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.Table4().Rows) != 3 {
+		if len(benchTable(b, experiments.Config.Table4).Rows) != 3 {
 			b.Fatal("table 4 wrong")
 		}
 	}
@@ -64,7 +85,7 @@ func BenchmarkTable4ScalingParams(b *testing.B) {
 
 func BenchmarkTable5Machines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.Table5().Rows) != 24 {
+		if len(benchTable(b, experiments.Config.Table5).Rows) != 24 {
 			b.Fatal("table 5 wrong")
 		}
 	}
@@ -72,7 +93,7 @@ func BenchmarkTable5Machines(b *testing.B) {
 
 func BenchmarkTable6MiraFull(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.Table6().Rows) != 10 {
+		if len(benchTable(b, experiments.Config.Table6).Rows) != 10 {
 			b.Fatal("table 6 wrong")
 		}
 	}
@@ -80,7 +101,7 @@ func BenchmarkTable6MiraFull(b *testing.B) {
 
 func BenchmarkTable7JuqueenFull(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(experiments.Table7().Rows) != 19 {
+		if len(benchTable(b, experiments.Config.Table7).Rows) != 19 {
 			b.Fatal("table 7 wrong")
 		}
 	}
@@ -91,7 +112,7 @@ func BenchmarkTable7JuqueenFull(b *testing.B) {
 func BenchmarkFigure1MiraBW(b *testing.B) {
 	var full float64
 	for i := 0; i < b.N; i++ {
-		f := experiments.Figure1()
+		f := benchBW(b, experiments.Config.Figure1)
 		full = f.Series[1].Y[len(f.X)-1]
 	}
 	b.ReportMetric(full, "fullMachineBW")
@@ -99,7 +120,7 @@ func BenchmarkFigure1MiraBW(b *testing.B) {
 
 func BenchmarkFigure2JuqueenBW(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := experiments.Figure2()
+		f := benchBW(b, experiments.Config.Figure2)
 		if len(f.X) != 19 {
 			b.Fatal("figure 2 wrong")
 		}
@@ -109,7 +130,7 @@ func BenchmarkFigure2JuqueenBW(b *testing.B) {
 func BenchmarkFigure3MiraPairing(b *testing.B) {
 	var speedup float64
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure3(false)
+		fig, err := experiments.Config{}.Figure3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +142,7 @@ func BenchmarkFigure3MiraPairing(b *testing.B) {
 func BenchmarkFigure4JuqueenPairing(b *testing.B) {
 	var speedup float64
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure4(false)
+		fig, err := experiments.Config{}.Figure4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +154,7 @@ func BenchmarkFigure4JuqueenPairing(b *testing.B) {
 func BenchmarkFigure5MatmulComm(b *testing.B) {
 	var r float64
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure5()
+		fig, err := experiments.Config{}.Figure5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +166,7 @@ func BenchmarkFigure5MatmulComm(b *testing.B) {
 func BenchmarkFigure6StrongScaling(b *testing.B) {
 	var s float64
 	for i := 0; i < b.N; i++ {
-		fig, err := experiments.Figure6()
+		fig, err := experiments.Config{}.Figure6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +177,7 @@ func BenchmarkFigure6StrongScaling(b *testing.B) {
 
 func BenchmarkFigure7MachineDesign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := experiments.Figure7()
+		f := benchBW(b, experiments.Config.Figure7)
 		if len(f.Series) != 3 {
 			b.Fatal("figure 7 wrong")
 		}

@@ -1,24 +1,31 @@
 // Command bgqpart analyzes Blue Gene/Q partition geometries: it prints
 // the paper's partition tables (1, 2, 5, 6, 7), the bandwidth figures
 // (1, 2, 7), and per-size geometry recommendations for any cataloged
-// machine.
+// machine. Tables and figures run through the netpart experiment
+// registry; Ctrl-C cancels in-flight sweeps.
 //
 // Usage:
 //
 //	bgqpart                      # print every table and figure
 //	bgqpart -table 1             # one table (1, 2, 5, 6, 7)
 //	bgqpart -figure 2            # one figure (1, 2, 7)
+//	bgqpart -experiments         # list the registered experiment IDs
 //	bgqpart -machine juqueen -midplanes 24   # analyze one request
 //	bgqpart -machine mira -list  # list feasible sizes and geometries
+//	bgqpart -table 6 -json       # emit an artifact as JSON
+//	bgqpart -table 6 -csv        # ... or CSV
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"netpart"
 	"netpart/internal/bgq"
 	"netpart/internal/experiments"
 )
@@ -29,11 +36,18 @@ func main() {
 	figure := flag.Int("figure", 0, "print one paper figure (1, 2, 7)")
 	midplanes := flag.Int("midplanes", 0, "analyze one allocation size (midplanes)")
 	list := flag.Bool("list", false, "list all feasible sizes with best/worst geometries")
+	listExp := flag.Bool("experiments", false, "list the registered experiment IDs")
 	chart := flag.Bool("chart", false, "render figures as ASCII charts instead of tables")
-	jsonOut := flag.Bool("json", false, "emit the machine analysis as JSON (with -list or -midplanes)")
+	jsonOut := flag.Bool("json", false, "emit JSON (artifacts, or the machine analysis with -list/-midplanes)")
+	csvOut := flag.Bool("csv", false, "emit artifacts as CSV (with -table or -figure)")
+	workers := flag.Int("workers", 0, "worker pool bound (0 = all CPUs)")
 	sequoia := flag.Bool("sequoia", false, "print the Sequoia analysis (paper §5)")
 	others := flag.Bool("others", false, "print the other-topologies analysis (paper §5)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runner := netpart.NewRunner(netpart.WithWorkers(*workers))
 
 	m, err := lookupMachine(*machine)
 	if err != nil {
@@ -42,14 +56,22 @@ func main() {
 	}
 
 	switch {
+	case *listExp:
+		for _, exp := range netpart.Registry() {
+			fmt.Printf("%-9s %-8s %-9s %s\n", exp.ID, exp.Kind, exp.Cost, exp.Title)
+		}
 	case *sequoia:
-		fmt.Print(experiments.SequoiaAnalysis().Render())
+		tab, err := experiments.Config{Workers: *workers}.SequoiaAnalysis(ctx)
+		check(err)
+		printTable(tab, *jsonOut, *csvOut)
 	case *others:
-		fmt.Print(experiments.OtherTopologies().Render())
+		tab, err := experiments.Config{Workers: *workers}.OtherTopologies(ctx)
+		check(err)
+		printTable(tab, *jsonOut, *csvOut)
 	case *table != 0:
-		printTable(*table)
+		printArtifact(ctx, runner, fmt.Sprintf("table%d", *table), *chart, *jsonOut, *csvOut)
 	case *figure != 0:
-		printFigure(*figure, *chart)
+		printArtifact(ctx, runner, fmt.Sprintf("figure%d", *figure), *chart, *jsonOut, *csvOut)
 	case *jsonOut:
 		emitJSON(m, *midplanes)
 	case *midplanes != 0:
@@ -57,70 +79,82 @@ func main() {
 	case *list:
 		listSizes(m)
 	default:
-		for _, t := range []int{1, 2, 5, 6, 7} {
-			printTable(t)
+		for _, n := range []int{1, 2, 5, 6, 7} {
+			printArtifact(ctx, runner, fmt.Sprintf("table%d", n), *chart, false, false)
 			fmt.Println()
 		}
-		for _, f := range []int{1, 2, 7} {
-			printFigure(f, *chart)
+		for _, n := range []int{1, 2, 7} {
+			printArtifact(ctx, runner, fmt.Sprintf("figure%d", n), *chart, false, false)
 			fmt.Println()
 		}
 	}
 }
 
-func lookupMachine(name string) (*bgq.Machine, error) {
-	switch strings.ToLower(name) {
-	case "mira":
-		return bgq.Mira(), nil
-	case "juqueen":
-		return bgq.Juqueen(), nil
-	case "sequoia":
-		return bgq.Sequoia(), nil
-	case "juqueen48", "juqueen-48":
-		return bgq.Juqueen48(), nil
-	case "juqueen54", "juqueen-54":
-		return bgq.Juqueen54(), nil
+// printArtifact runs one registered experiment and renders it in the
+// requested form. The partition artifacts (tables 1/2/5/6/7, figures
+// 1/2/7) belong to this tool; 3-6 belong to cmd/contention.
+func printArtifact(ctx context.Context, runner *netpart.Runner, id string, chart, jsonOut, csvOut bool) {
+	switch id {
+	case "table3", "table4", "figure3", "figure4", "figure5", "figure6":
+		fmt.Fprintf(os.Stderr, "bgqpart: %s belongs to cmd/contention\n", id)
+		os.Exit(2)
+	}
+	res, err := runner.Run(ctx, id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgqpart:", err)
+		os.Exit(1)
+	}
+	switch {
+	case jsonOut:
+		js, err := res.JSON()
+		check(err)
+		os.Stdout.Write(js)
+		fmt.Println()
+	case csvOut:
+		cs, err := res.CSV()
+		check(err)
+		os.Stdout.Write(cs)
+	case chart && res.Chart != nil:
+		fmt.Print(res.Chart.Render())
 	default:
+		fmt.Print(res.Table.Render())
+	}
+}
+
+// printTable renders a standalone table in the requested encoding.
+func printTable(tab netpart.Table, jsonOut, csvOut bool) {
+	switch {
+	case jsonOut:
+		js, err := tab.JSON()
+		check(err)
+		os.Stdout.Write(js)
+		fmt.Println()
+	case csvOut:
+		cs, err := tab.CSV()
+		check(err)
+		os.Stdout.Write(cs)
+	default:
+		fmt.Print(tab.Render())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bgqpart:", err)
+		os.Exit(1)
+	}
+}
+
+// lookupMachine resolves the -machine flag through the experiments
+// catalog resolver (one source of truth for machine names), accepting
+// the CLI's extra "juqueen-48"-style aliases.
+func lookupMachine(name string) (*bgq.Machine, error) {
+	canonical := strings.ReplaceAll(strings.ToLower(name), "-", "")
+	m, err := experiments.DefaultMachines(canonical)
+	if err != nil {
 		return nil, fmt.Errorf("bgqpart: unknown machine %q", name)
 	}
-}
-
-func printTable(n int) {
-	switch n {
-	case 1:
-		fmt.Print(experiments.Table1().Render())
-	case 2:
-		fmt.Print(experiments.Table2().Render())
-	case 5:
-		fmt.Print(experiments.Table5().Render())
-	case 6:
-		fmt.Print(experiments.Table6().Render())
-	case 7:
-		fmt.Print(experiments.Table7().Render())
-	default:
-		fmt.Fprintf(os.Stderr, "bgqpart: no partition table %d (3 and 4 belong to cmd/contention)\n", n)
-		os.Exit(2)
-	}
-}
-
-func printFigure(n int, chart bool) {
-	var f experiments.BWFigure
-	switch n {
-	case 1:
-		f = experiments.Figure1()
-	case 2:
-		f = experiments.Figure2()
-	case 7:
-		f = experiments.Figure7()
-	default:
-		fmt.Fprintf(os.Stderr, "bgqpart: no bandwidth figure %d (3-6 belong to cmd/contention)\n", n)
-		os.Exit(2)
-	}
-	if chart {
-		fmt.Print(f.Chart().Render())
-	} else {
-		fmt.Print(f.Table().Render())
-	}
+	return m, nil
 }
 
 func analyzeSize(m *bgq.Machine, midplanes int) {

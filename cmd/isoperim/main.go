@@ -1,7 +1,8 @@
 // Command isoperim is a general edge-isoperimetric calculator for the
 // network topologies of the paper's §5: tori (Theorem 3.1 bound plus
 // exact cuboid search), hypercubes (Harper), HyperX clique products
-// (Lindsey) and 2D meshes (brute force).
+// (Lindsey) and 2D meshes (brute force). Results are emitted as a
+// tabulate table, so they render as text or serialize as JSON/CSV.
 //
 // Usage:
 //
@@ -10,6 +11,7 @@
 //	isoperim -topology hyperx -dims 16x6 -t 48
 //	isoperim -topology mesh -dims 6x4 -t 12      # exact, small only
 //	isoperim -topology torus -dims 8x8x4 -bisection
+//	isoperim -topology torus -dims 8x8x4 -bisection -json
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"netpart/internal/iso"
+	"netpart/internal/tabulate"
 	"netpart/internal/topo"
 	"netpart/internal/torus"
 )
@@ -28,109 +31,134 @@ func main() {
 	d := flag.Int("d", 0, "hypercube dimension")
 	t := flag.Int("t", 0, "subset size")
 	bisection := flag.Bool("bisection", false, "compute the bisection instead of a subset size")
+	jsonOut := flag.Bool("json", false, "emit the result table as JSON")
+	csvOut := flag.Bool("csv", false, "emit the result table as CSV")
 	flag.Parse()
 
-	if err := run(*topology, *dims, *d, *t, *bisection); err != nil {
+	tab, err := run(*topology, *dims, *d, *t, *bisection)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "isoperim:", err)
 		os.Exit(1)
 	}
+	switch {
+	case *jsonOut:
+		js, err := tab.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isoperim:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(js)
+		fmt.Println()
+	case *csvOut:
+		cs, err := tab.CSV()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isoperim:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(cs)
+	default:
+		fmt.Print(tab.Render())
+	}
 }
 
-func run(topology, dimsStr string, d, t int, bisection bool) error {
+// run computes the requested isoperimetric quantities as a two-column
+// table of (quantity, value) rows.
+func run(topology, dimsStr string, d, t int, bisection bool) (tabulate.Table, error) {
+	tab := tabulate.Table{Headers: []string{"quantity", "value"}}
 	switch topology {
 	case "torus":
 		sh, err := torus.ParseShape(dimsStr)
 		if err != nil {
-			return err
+			return tab, err
 		}
 		if bisection {
 			t = sh.Volume() / 2
 		}
 		if t < 1 {
-			return fmt.Errorf("need -t or -bisection")
+			return tab, fmt.Errorf("need -t or -bisection")
 		}
-		fmt.Printf("torus %s, |V| = %d, subset size t = %d\n", sh, sh.Volume(), t)
+		tab.Title = fmt.Sprintf("torus %s, |V| = %d, subset size t = %d", sh, sh.Volume(), t)
 		if t <= sh.Volume()/2 {
 			bound, r := iso.TorusBound(sh, t)
-			fmt.Printf("Theorem 3.1 bound: %.3f (minimizing r = %d)\n", bound, r)
+			tab.AddRow("Theorem 3.1 bound", fmt.Sprintf("%.3f (minimizing r = %d)", bound, r))
 			if att, ok := iso.AttainingCuboid(sh, t); ok {
-				fmt.Printf("attaining cuboid S_r: %s\n", att)
+				tab.AddRow("attaining cuboid S_r", att.String())
 			}
 		}
 		res, err := iso.MinCuboidPerimeter(sh, t)
 		if err != nil {
-			fmt.Printf("exact cuboid search: %v\n", err)
+			tab.AddRow("exact cuboid search", err.Error())
 		} else {
-			fmt.Printf("optimal cuboid: %s with perimeter %d\n", res.Lens, res.Perimeter)
+			tab.AddRow("optimal cuboid", res.Lens.String())
+			tab.AddRow("optimal cuboid perimeter", res.Perimeter)
 		}
-		return nil
+		return tab, nil
 
 	case "hypercube":
 		if d < 1 {
-			return fmt.Errorf("need -d for hypercube")
+			return tab, fmt.Errorf("need -d for hypercube")
 		}
 		if bisection {
 			t = 1 << uint(d-1)
 		}
 		per, err := iso.HarperPerimeter(d, t)
 		if err != nil {
-			return err
+			return tab, err
 		}
-		fmt.Printf("hypercube Q%d, |V| = %d, t = %d\n", d, 1<<uint(d), t)
-		fmt.Printf("Harper minimum perimeter: %d\n", per)
-		return nil
+		tab.Title = fmt.Sprintf("hypercube Q%d, |V| = %d, t = %d", d, 1<<uint(d), t)
+		tab.AddRow("Harper minimum perimeter", per)
+		return tab, nil
 
 	case "hyperx":
 		sh, err := torus.ParseShape(dimsStr)
 		if err != nil {
-			return err
+			return tab, err
 		}
 		if bisection {
 			t = sh.Volume() / 2
 		}
 		per, err := iso.LindseyPerimeter(sh, t)
 		if err != nil {
-			return err
+			return tab, err
 		}
-		fmt.Printf("HyperX K%s, |V| = %d, t = %d\n", sh, sh.Volume(), t)
-		fmt.Printf("Lindsey minimum perimeter: %d\n", per)
-		bi, err := iso.HyperXBisection(sh)
-		if err == nil {
-			fmt.Printf("bisection: %d\n", bi)
+		tab.Title = fmt.Sprintf("HyperX K%s, |V| = %d, t = %d", sh, sh.Volume(), t)
+		tab.AddRow("Lindsey minimum perimeter", per)
+		if bi, err := iso.HyperXBisection(sh); err == nil {
+			tab.AddRow("bisection", bi)
 		}
-		return nil
+		return tab, nil
 
 	case "mesh":
 		sh, err := torus.ParseShape(dimsStr)
 		if err != nil {
-			return err
+			return tab, err
 		}
 		if len(sh) != 2 {
-			return fmt.Errorf("mesh needs 2 dimensions")
+			return tab, fmt.Errorf("mesh needs 2 dimensions")
 		}
 		g, err := topo.Mesh2D(sh[0], sh[1])
 		if err != nil {
-			return err
+			return tab, err
 		}
 		if bisection {
 			t = g.N() / 2
 		}
 		per, set, err := g.MinPerimeter(t)
 		if err != nil {
-			return err
+			return tab, err
 		}
-		fmt.Printf("mesh %s, |V| = %d, t = %d\n", sh, g.N(), t)
-		fmt.Printf("exact minimum perimeter: %.0f\n", per)
-		fmt.Print("an optimal subset: ")
+		tab.Title = fmt.Sprintf("mesh %s, |V| = %d, t = %d", sh, g.N(), t)
+		tab.AddRow("exact minimum perimeter", per)
+		subset := ""
 		for v, in := range set {
 			if in {
-				fmt.Printf("%d ", v)
+				subset += fmt.Sprintf("%d ", v)
 			}
 		}
-		fmt.Println()
-		return nil
+		tab.AddRow("an optimal subset", subset)
+		return tab, nil
 
 	default:
-		return fmt.Errorf("unknown topology %q", topology)
+		return tab, fmt.Errorf("unknown topology %q", topology)
 	}
 }

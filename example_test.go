@@ -1,10 +1,37 @@
 package netpart_test
 
 import (
+	"context"
 	"fmt"
 
 	"netpart"
 )
+
+// Every artifact of the paper's evaluation is a registered experiment
+// with a stable ID; a Runner executes them with per-call options.
+func ExampleRunner() {
+	runner := netpart.NewRunner(netpart.WithWorkers(2))
+	res, err := runner.Run(context.Background(), "table4")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s (%s, %s): %d rows\n",
+		res.Experiment.ID, res.Experiment.Kind, res.Experiment.Cost, len(res.Table.Rows))
+	// Output:
+	// table4 (table, cheap): 3 rows
+}
+
+// The registry enumerates the evaluation in presentation order.
+func ExampleRegistry() {
+	for _, exp := range netpart.Registry() {
+		if exp.Cost == netpart.CostHeavy {
+			fmt.Println(exp.ID, "—", exp.Title)
+		}
+	}
+	// Output:
+	// figure3 — Mira bisection pairing (flow-level simulation)
+	// figure4 — JUQUEEN bisection pairing (flow-level simulation)
+}
 
 // The headline result: Mira's 24-midplane partition geometry leaves a
 // third of the achievable bisection bandwidth on the table.

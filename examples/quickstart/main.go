@@ -1,11 +1,14 @@
 // Quickstart: a 30-second tour of the netpart public API — build a
-// torus, bound a cut with the paper's Theorem 3.1, and improve a
-// Blue Gene/Q partition geometry.
+// torus, bound a cut with the paper's Theorem 3.1, improve a
+// Blue Gene/Q partition geometry, and run a registered experiment
+// through the Runner.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"netpart"
 )
@@ -44,4 +47,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("  contention-bound speedup: up to %.2fx — same nodes, same cables\n", speedup)
+
+	// Every artifact of the paper's evaluation is a registered
+	// experiment; the Runner executes them with per-call options and
+	// context cancellation.
+	runner := netpart.NewRunner(netpart.WithWorkers(4))
+	res, err := runner.Run(context.Background(), "table1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Table.Render())
+	fmt.Printf("(cost class %q, computed in %v)\n", res.Experiment.Cost, res.Meta.Elapsed.Round(time.Microsecond))
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -10,40 +11,59 @@ import (
 // a heavily oversubscribed pool. Rendered tables are the golden form —
 // they capture row order, cell formatting, and every numeric value.
 func TestParallelDriversMatchSequential(t *testing.T) {
+	ctx := context.Background()
 	gens := []struct {
 		name string
-		run  func() (string, error)
+		run  func(c Config) (string, error)
 	}{
-		{"Figure3", func() (string, error) {
-			f, err := Figure3(false)
+		{"Figure3", func(c Config) (string, error) {
+			f, err := c.Figure3(ctx)
 			if err != nil {
 				return "", err
 			}
 			return f.Table().Render(), nil
 		}},
-		{"Figure4", func() (string, error) {
-			f, err := Figure4(false)
+		{"Figure4", func(c Config) (string, error) {
+			f, err := c.Figure4(ctx)
 			if err != nil {
 				return "", err
 			}
 			return f.Table().Render(), nil
 		}},
-		{"Table5", func() (string, error) { return Table5().Render(), nil }},
-		{"Table6", func() (string, error) { return Table6().Render(), nil }},
-		{"Table7", func() (string, error) { return Table7().Render(), nil }},
-		{"Figure1", func() (string, error) { return Figure1().Table().Render(), nil }},
-		{"Figure2", func() (string, error) { return Figure2().Table().Render(), nil }},
+		{"Table5", func(c Config) (string, error) {
+			tab, err := c.Table5(ctx)
+			return tab.Render(), err
+		}},
+		{"Table6", func(c Config) (string, error) {
+			tab, err := c.Table6(ctx)
+			return tab.Render(), err
+		}},
+		{"Table7", func(c Config) (string, error) {
+			tab, err := c.Table7(ctx)
+			return tab.Render(), err
+		}},
+		{"Figure1", func(c Config) (string, error) {
+			f, err := c.Figure1(ctx)
+			if err != nil {
+				return "", err
+			}
+			return f.Table().Render(), nil
+		}},
+		{"Figure2", func(c Config) (string, error) {
+			f, err := c.Figure2(ctx)
+			if err != nil {
+				return "", err
+			}
+			return f.Table().Render(), nil
+		}},
 	}
-	defer func(old int) { Workers = old }(Workers)
 	for _, g := range gens {
 		t.Run(g.name, func(t *testing.T) {
-			Workers = 1
-			seq, err := g.run()
+			seq, err := g.run(Config{Workers: 1})
 			if err != nil {
 				t.Fatalf("sequential: %v", err)
 			}
-			Workers = 8
-			par, err := g.run()
+			par, err := g.run(Config{Workers: 8})
 			if err != nil {
 				t.Fatalf("parallel: %v", err)
 			}
@@ -57,10 +77,9 @@ func TestParallelDriversMatchSequential(t *testing.T) {
 // TestForEachErrorOrder verifies the pool surfaces the lowest-index
 // error, matching what a sequential loop reports first.
 func TestForEachErrorOrder(t *testing.T) {
-	defer func(old int) { Workers = old }(Workers)
 	for _, workers := range []int{1, 4} {
-		Workers = workers
-		err := forEach(10, func(i int) error {
+		c := Config{Workers: workers}
+		err := c.forEach(context.Background(), 10, func(i int) error {
 			if i == 3 || i == 7 {
 				return errIndexed(i)
 			}
@@ -75,3 +94,24 @@ func TestForEachErrorOrder(t *testing.T) {
 type errIndexed int
 
 func (e errIndexed) Error() string { return "unit " + string(rune('0'+int(e))) + " failed" }
+
+// TestForEachProgress verifies progress reports are serialized,
+// monotone, and end at (n, n) on both the sequential and pooled paths.
+func TestForEachProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		c := Config{Workers: workers}
+		var reports [][2]int
+		c.Progress = func(done, total int) { reports = append(reports, [2]int{done, total}) }
+		if err := c.forEachProgress(context.Background(), 9, func(i int) error { return nil }); err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if len(reports) != 9 {
+			t.Fatalf("Workers=%d: %d reports, want 9", workers, len(reports))
+		}
+		for i, r := range reports {
+			if r[0] != i+1 || r[1] != 9 {
+				t.Errorf("Workers=%d: report %d = %v, want [%d 9]", workers, i, r, i+1)
+			}
+		}
+	}
+}

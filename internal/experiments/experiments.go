@@ -4,12 +4,21 @@
 // machinery, the bisection-pairing experiment (Figures 3, 4) through
 // the flow-level network simulator, and the matrix-multiplication
 // experiments (Tables 3, 4; Figures 5, 6) through the calibrated CAPS
-// cost model. Each generator returns structured data plus renderable
-// tables/charts; the per-experiment index lives in DESIGN.md and the
-// measured-vs-paper record in EXPERIMENTS.md.
+// cost model.
+//
+// Every generator is a method on Config, takes a context, and returns
+// an error: per-call worker pools replace the old package-global
+// tuning knob, catalog inconsistencies surface instead of producing
+// zero rows, and cancellation aborts long sweeps promptly (the worker
+// pool stops handing out units; the pairing simulator checks between
+// rounds and flow batches). The public artifact registry over these
+// generators is the root netpart package's Registry/Runner API; the
+// per-experiment index lives in DESIGN.md and the measured-vs-paper
+// record in EXPERIMENTS.md.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,126 +29,193 @@ import (
 
 // Table1 reproduces paper Table 1: Mira rows where the proposed
 // geometry strictly improves the bisection.
-func Table1() tabulate.Table {
+func (c Config) Table1(ctx context.Context) (tabulate.Table, error) {
 	t := tabulate.Table{
 		Title:   "Table 1: Mira partitions with improved geometries",
 		Headers: []string{"P (nodes)", "Midplanes", "Current", "BW", "Proposed", "Proposed BW"},
 	}
-	mira := bgq.Mira()
-	for _, size := range mira.PredefinedSizes() {
-		cur, _ := mira.Predefined(size)
+	mira, err := c.machine("mira")
+	if err != nil {
+		return t, err
+	}
+	sizes := mira.PredefinedSizes()
+	if len(sizes) == 0 {
+		return t, fmt.Errorf("experiments: %s has no predefined partition list", mira.Name)
+	}
+	rows, err := c.tableRows(ctx, len(sizes), func(i int) ([]any, error) {
+		size := sizes[i]
+		cur, ok := mira.Predefined(size)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s predefined list lost size %d", mira.Name, size)
+		}
 		prop, improved := mira.Proposed(size)
 		if !improved {
-			continue
+			return nil, nil
 		}
-		t.AddRow(cur.Nodes(), size, cur.String(), cur.BisectionBW(), prop.String(), prop.BisectionBW())
+		return []any{cur.Nodes(), size, cur.String(), cur.BisectionBW(), prop.String(), prop.BisectionBW()}, nil
+	})
+	if err != nil {
+		return t, err
 	}
-	return t
+	addRows(&t, rows)
+	return t, nil
 }
 
 // Table2 reproduces paper Table 2: JUQUEEN sizes where worst and best
 // geometries differ.
-func Table2() tabulate.Table {
+func (c Config) Table2(ctx context.Context) (tabulate.Table, error) {
 	t := tabulate.Table{
 		Title:   "Table 2: JUQUEEN best vs worst partitions (differing rows)",
 		Headers: []string{"P (nodes)", "Midplanes", "Worst", "Worst BW", "Best", "Best BW"},
 	}
-	jq := bgq.Juqueen()
-	for _, size := range jq.FeasibleSizes() {
-		worst, _ := jq.Worst(size)
-		best, _ := jq.Best(size)
-		if worst.BisectionBW() == best.BisectionBW() {
-			continue
-		}
-		t.AddRow(worst.Nodes(), size, worst.String(), worst.BisectionBW(), best.String(), best.BisectionBW())
+	jq, err := c.machine("juqueen")
+	if err != nil {
+		return t, err
 	}
-	return t
+	sizes := jq.FeasibleSizes()
+	rows, err := c.tableRows(ctx, len(sizes), func(i int) ([]any, error) {
+		size := sizes[i]
+		worst, best, err := extremes(jq, size)
+		if err != nil {
+			return nil, err
+		}
+		if worst.BisectionBW() == best.BisectionBW() {
+			return nil, nil
+		}
+		return []any{worst.Nodes(), size, worst.String(), worst.BisectionBW(), best.String(), best.BisectionBW()}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	addRows(&t, rows)
+	return t, nil
+}
+
+// extremes returns the worst and best geometries of a feasible size,
+// as an error rather than a zero partition when the size is infeasible
+// (a corrupted catalog, or a caller-supplied machine too small for the
+// experiment's hardcoded sizes).
+func extremes(m *bgq.Machine, size int) (worst, best bgq.Partition, err error) {
+	worst, ok := m.Worst(size)
+	if !ok {
+		return worst, best, fmt.Errorf("experiments: no %d-midplane cuboid fits %s", size, m.Name)
+	}
+	best, _ = m.Best(size)
+	return worst, best, nil
 }
 
 // Table6 reproduces paper Table 6: the full Mira partition list. Rows
 // are computed on the worker pool (each involves a best-geometry
 // search) and assembled in size order.
-func Table6() tabulate.Table {
+func (c Config) Table6(ctx context.Context) (tabulate.Table, error) {
 	t := tabulate.Table{
 		Title:   "Table 6: Mira current and proposed partitions (full list)",
 		Headers: []string{"P (nodes)", "Midplanes", "Current", "BW", "New Geometry", "New BW"},
 	}
-	mira := bgq.Mira()
+	mira, err := c.machine("mira")
+	if err != nil {
+		return t, err
+	}
 	sizes := mira.PredefinedSizes()
-	rows := make([][]any, len(sizes))
-	_ = forEach(len(sizes), func(i int) error {
+	if len(sizes) == 0 {
+		return t, fmt.Errorf("experiments: %s has no predefined partition list", mira.Name)
+	}
+	rows, err := c.tableRows(ctx, len(sizes), func(i int) ([]any, error) {
 		size := sizes[i]
-		cur, _ := mira.Predefined(size)
+		cur, ok := mira.Predefined(size)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s predefined list lost size %d", mira.Name, size)
+		}
 		prop, improved := mira.Proposed(size)
 		ps, pbw := "", ""
 		if improved {
 			ps = prop.String()
 			pbw = fmt.Sprintf("%d", prop.BisectionBW())
 		}
-		rows[i] = []any{cur.Nodes(), size, cur.String(), cur.BisectionBW(), ps, pbw}
-		return nil
+		return []any{cur.Nodes(), size, cur.String(), cur.BisectionBW(), ps, pbw}, nil
 	})
-	for _, r := range rows {
-		t.AddRow(r...)
+	if err != nil {
+		return t, err
 	}
-	return t
+	addRows(&t, rows)
+	return t, nil
 }
 
 // Table7 reproduces paper Table 7: the full JUQUEEN worst/best list.
 // Each row's worst/best geometry search runs on the worker pool.
-func Table7() tabulate.Table {
+func (c Config) Table7(ctx context.Context) (tabulate.Table, error) {
 	t := tabulate.Table{
 		Title:   "Table 7: JUQUEEN allocation best and worst cases (full list)",
 		Headers: []string{"P (nodes)", "Midplanes", "Worst", "Worst BW", "Best", "Best BW"},
 	}
-	jq := bgq.Juqueen()
+	jq, err := c.machine("juqueen")
+	if err != nil {
+		return t, err
+	}
 	sizes := jq.FeasibleSizes()
-	rows := make([][]any, len(sizes))
-	_ = forEach(len(sizes), func(i int) error {
+	rows, err := c.tableRows(ctx, len(sizes), func(i int) ([]any, error) {
 		size := sizes[i]
-		worst, _ := jq.Worst(size)
-		best, _ := jq.Best(size)
+		worst, best, err := extremes(jq, size)
+		if err != nil {
+			return nil, err
+		}
 		bs, bbw := "", ""
 		if best.BisectionBW() != worst.BisectionBW() {
 			bs = best.String()
 			bbw = fmt.Sprintf("%d", best.BisectionBW())
 		}
-		rows[i] = []any{worst.Nodes(), size, worst.String(), worst.BisectionBW(), bs, bbw}
-		return nil
+		return []any{worst.Nodes(), size, worst.String(), worst.BisectionBW(), bs, bbw}, nil
 	})
-	for _, r := range rows {
-		t.AddRow(r...)
+	if err != nil {
+		return t, err
 	}
-	return t
+	addRows(&t, rows)
+	return t, nil
 }
 
 // Table5 reproduces paper Table 5: best-case partitions of JUQUEEN and
 // the hypothetical JUQUEEN-54 and JUQUEEN-48.
-func Table5() tabulate.Table {
+func (c Config) Table5(ctx context.Context) (tabulate.Table, error) {
 	t := tabulate.Table{
 		Title:   "Table 5: best-case partitions, JUQUEEN vs hypothetical machines",
 		Headers: []string{"P (nodes)", "Midplanes", "JUQUEEN", "J BW", "JUQUEEN-54", "J-54 BW", "JUQUEEN-48", "J-48 BW"},
 	}
-	jq, j54, j48 := bgq.Juqueen(), bgq.Juqueen54(), bgq.Juqueen48()
-	sizes := unionSizes(jq, j54, j48)
-	rows := make([][]any, len(sizes))
-	_ = forEach(len(sizes), func(i int) error {
+	machines, err := c.machineSet("juqueen", "juqueen54", "juqueen48")
+	if err != nil {
+		return t, err
+	}
+	sizes := unionSizes(machines...)
+	rows, err := c.tableRows(ctx, len(sizes), func(i int) ([]any, error) {
 		size := sizes[i]
 		cells := []any{size * bgq.MidplaneNodes, size}
-		for _, m := range []*bgq.Machine{jq, j54, j48} {
+		for _, m := range machines {
 			if best, ok := m.Best(size); ok {
 				cells = append(cells, best.String(), best.BisectionBW())
 			} else {
 				cells = append(cells, "", "")
 			}
 		}
-		rows[i] = cells
-		return nil
+		return cells, nil
 	})
-	for _, r := range rows {
-		t.AddRow(r...)
+	if err != nil {
+		return t, err
 	}
-	return t
+	addRows(&t, rows)
+	return t, nil
+}
+
+// machineSet resolves several machines, failing on the first the
+// catalog cannot supply.
+func (c Config) machineSet(names ...string) ([]*bgq.Machine, error) {
+	ms := make([]*bgq.Machine, len(names))
+	for i, name := range names {
+		m, err := c.machine(name)
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return ms, nil
 }
 
 func unionSizes(ms ...*bgq.Machine) []int {
@@ -201,58 +277,79 @@ func (f BWFigure) Chart() tabulate.Chart {
 
 // Figure1 reproduces paper Figure 1: Mira's current vs proposed
 // normalized bisection bandwidth over the predefined partition sizes.
-func Figure1() BWFigure {
-	mira := bgq.Mira()
+func (c Config) Figure1(ctx context.Context) (BWFigure, error) {
 	f := BWFigure{Title: "Figure 1: Mira normalized bisection bandwidth"}
+	mira, err := c.machine("mira")
+	if err != nil {
+		return f, err
+	}
 	sizes := mira.PredefinedSizes()
+	if len(sizes) == 0 {
+		return f, fmt.Errorf("experiments: %s has no predefined partition list", mira.Name)
+	}
 	cur := tabulate.Series{Label: "current", Y: make([]float64, len(sizes))}
 	prop := tabulate.Series{Label: "proposed", Y: make([]float64, len(sizes))}
 	f.X = append(f.X, sizes...)
-	_ = forEach(len(sizes), func(i int) error {
-		c, _ := mira.Predefined(sizes[i])
-		cur.Y[i] = float64(c.BisectionBW())
-		if p, ok := mira.Proposed(sizes[i]); ok {
-			prop.Y[i] = float64(p.BisectionBW())
+	if err := c.forEachProgress(ctx, len(sizes), func(i int) error {
+		p, ok := mira.Predefined(sizes[i])
+		if !ok {
+			return fmt.Errorf("experiments: %s predefined list lost size %d", mira.Name, sizes[i])
+		}
+		cur.Y[i] = float64(p.BisectionBW())
+		if prop2, ok := mira.Proposed(sizes[i]); ok {
+			prop.Y[i] = float64(prop2.BisectionBW())
 		} else {
 			prop.Y[i] = cur.Y[i]
 		}
 		return nil
-	})
+	}); err != nil {
+		return f, err
+	}
 	f.Series = []tabulate.Series{cur, prop}
-	return f
+	return f, nil
 }
 
 // Figure2 reproduces paper Figure 2: JUQUEEN best vs worst-case
 // bandwidth across all feasible sizes; ring-shaped sizes are the
 // 'spiking drops'.
-func Figure2() BWFigure {
-	jq := bgq.Juqueen()
+func (c Config) Figure2(ctx context.Context) (BWFigure, error) {
 	f := BWFigure{Title: "Figure 2: JUQUEEN best/worst normalized bisection bandwidth"}
+	jq, err := c.machine("juqueen")
+	if err != nil {
+		return f, err
+	}
 	sizes := jq.FeasibleSizes()
 	worst := tabulate.Series{Label: "worst-case", Y: make([]float64, len(sizes))}
 	best := tabulate.Series{Label: "best-case", Y: make([]float64, len(sizes))}
 	f.X = append(f.X, sizes...)
-	_ = forEach(len(sizes), func(i int) error {
-		w, _ := jq.Worst(sizes[i])
-		b, _ := jq.Best(sizes[i])
+	if err := c.forEachProgress(ctx, len(sizes), func(i int) error {
+		w, b, err := extremes(jq, sizes[i])
+		if err != nil {
+			return err
+		}
 		worst.Y[i] = float64(w.BisectionBW())
 		best.Y[i] = float64(b.BisectionBW())
 		return nil
-	})
+	}); err != nil {
+		return f, err
+	}
 	f.Series = []tabulate.Series{worst, best}
-	return f
+	return f, nil
 }
 
 // Figure7 reproduces paper Figure 7: best-case bandwidth of JUQUEEN
 // vs the hypothetical JUQUEEN-48 and JUQUEEN-54 (missing sizes NaN).
-func Figure7() BWFigure {
-	machines := []*bgq.Machine{bgq.Juqueen(), bgq.Juqueen48(), bgq.Juqueen54()}
+func (c Config) Figure7(ctx context.Context) (BWFigure, error) {
 	f := BWFigure{Title: "Figure 7: JUQUEEN vs hypothetical machines (best-case BW)"}
+	machines, err := c.machineSet("juqueen", "juqueen48", "juqueen54")
+	if err != nil {
+		return f, err
+	}
 	f.X = unionSizes(machines...)
 	for _, m := range machines {
 		f.Series = append(f.Series, tabulate.Series{Label: m.Name, Y: make([]float64, len(f.X))})
 	}
-	_ = forEach(len(f.X), func(i int) error {
+	if err := c.forEachProgress(ctx, len(f.X), func(i int) error {
 		for mi, m := range machines {
 			if best, ok := m.Best(f.X[i]); ok {
 				f.Series[mi].Y[i] = float64(best.BisectionBW())
@@ -261,24 +358,38 @@ func Figure7() BWFigure {
 			}
 		}
 		return nil
-	})
-	return f
+	}); err != nil {
+		return f, err
+	}
+	return f, nil
 }
 
 // Table3 reproduces paper Table 3: the matmul experiment parameters.
-func Table3() tabulate.Table {
+func (c Config) Table3(ctx context.Context) (tabulate.Table, error) {
 	t := tabulate.Table{
 		Title:   "Table 3: matrix multiplication experiment parameters (Mira)",
 		Headers: []string{"P (nodes)", "Midplanes", "MPI Ranks", "Max active cores", "Avg cores per proc", "Matrix dim"},
 	}
-	mira := bgq.Mira()
-	for _, mp := range []int{4, 8, 16, 24} {
-		p, _ := mira.Predefined(mp)
-		cfg := MatmulTable3Config(mp, p)
-		t.AddRow(p.Nodes(), mp, cfg.Ranks, cfg.MaxActiveCores(),
-			fmt.Sprintf("%.2f", cfg.RanksPerNode()), cfg.N)
+	mira, err := c.machine("mira")
+	if err != nil {
+		return t, err
 	}
-	return t
+	mps := []int{4, 8, 16, 24}
+	rows, err := c.tableRows(ctx, len(mps), func(i int) ([]any, error) {
+		mp := mps[i]
+		p, ok := mira.Predefined(mp)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s has no predefined %d-midplane partition for Table 3", mira.Name, mp)
+		}
+		cfg := MatmulTable3Config(mp, p)
+		return []any{p.Nodes(), mp, cfg.Ranks, cfg.MaxActiveCores(),
+			fmt.Sprintf("%.2f", cfg.RanksPerNode()), cfg.N}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	addRows(&t, rows)
+	return t, nil
 }
 
 // MatmulTable3Config returns the paper's Table 3 configuration for a
@@ -296,18 +407,24 @@ func MatmulTable3Config(midplanes int, p bgq.Partition) model.MatmulConfig {
 }
 
 // Table4 reproduces paper Table 4: the strong-scaling parameters.
-func Table4() tabulate.Table {
+func (c Config) Table4(ctx context.Context) (tabulate.Table, error) {
 	t := tabulate.Table{
 		Title:   "Table 4: strong scaling experiment parameters (Mira, n=9408)",
 		Headers: []string{"P (nodes)", "Midplanes", "MPI Ranks", "Max active cores", "Avg cores per proc", "Current BW", "Proposed BW"},
 	}
-	for _, mp := range []int{2, 4, 8} {
+	mps := []int{2, 4, 8}
+	rows, err := c.tableRows(ctx, len(mps), func(i int) ([]any, error) {
+		mp := mps[i]
 		cur, prop := Table4Partitions(mp)
 		cfg := Table4Config(mp, cur)
-		t.AddRow(cur.Nodes(), mp, cfg.Ranks, cfg.MaxActiveCores(),
-			fmt.Sprintf("%.2f", cfg.RanksPerNode()), cur.BisectionBW(), prop.BisectionBW())
+		return []any{cur.Nodes(), mp, cfg.Ranks, cfg.MaxActiveCores(),
+			fmt.Sprintf("%.2f", cfg.RanksPerNode()), cur.BisectionBW(), prop.BisectionBW()}, nil
+	})
+	if err != nil {
+		return t, err
 	}
-	return t
+	addRows(&t, rows)
+	return t, nil
 }
 
 // Table4Partitions returns the current and proposed geometries of the

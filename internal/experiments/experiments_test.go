@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestTable1Contents(t *testing.T) {
-	tab := Table1()
+	tab := genTable(t, Config.Table1)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("Table 1 has %d rows, want 4", len(tab.Rows))
 	}
@@ -28,7 +29,7 @@ func TestTable1Contents(t *testing.T) {
 }
 
 func TestTable2Contents(t *testing.T) {
-	tab := Table2()
+	tab := genTable(t, Config.Table2)
 	if len(tab.Rows) != 6 {
 		t.Fatalf("Table 2 has %d rows, want 6", len(tab.Rows))
 	}
@@ -42,7 +43,7 @@ func TestTable2Contents(t *testing.T) {
 }
 
 func TestTable5RowCount(t *testing.T) {
-	tab := Table5()
+	tab := genTable(t, Config.Table5)
 	// Paper Table 5 lists 24 distinct midplane counts.
 	if len(tab.Rows) != 24 {
 		t.Errorf("Table 5 has %d rows, want 24", len(tab.Rows))
@@ -63,16 +64,16 @@ func TestTable5RowCount(t *testing.T) {
 }
 
 func TestTables6And7MatchCatalog(t *testing.T) {
-	if n := len(Table6().Rows); n != 10 {
+	if n := len(genTable(t, Config.Table6).Rows); n != 10 {
 		t.Errorf("Table 6 rows = %d, want 10", n)
 	}
-	if n := len(Table7().Rows); n != 19 {
+	if n := len(genTable(t, Config.Table7).Rows); n != 19 {
 		t.Errorf("Table 7 rows = %d, want 19", n)
 	}
 }
 
 func TestFigure1Endpoints(t *testing.T) {
-	f := Figure1()
+	f := genBW(t, Config.Figure1)
 	if len(f.X) != 10 {
 		t.Fatalf("Figure 1 has %d x-values, want 10", len(f.X))
 	}
@@ -95,7 +96,7 @@ func TestFigure1Endpoints(t *testing.T) {
 }
 
 func TestFigure2RingSpikes(t *testing.T) {
-	f := Figure2()
+	f := genBW(t, Config.Figure2)
 	// Ring-shaped sizes (5, 7 midplanes) stay at 256 in both series.
 	for i, x := range f.X {
 		if x == 5 || x == 7 {
@@ -113,7 +114,7 @@ func TestFigure2RingSpikes(t *testing.T) {
 }
 
 func TestFigure7HypotheticalMachinesDominate(t *testing.T) {
-	f := Figure7()
+	f := genBW(t, Config.Figure7)
 	byLabel := map[string][]float64{}
 	for _, s := range f.Series {
 		byLabel[s.Label] = s.Y
@@ -148,7 +149,7 @@ func TestFigure7HypotheticalMachinesDominate(t *testing.T) {
 // proposed Mira partitions complete the pairing benchmark about twice
 // as fast at 4/8/16 midplanes and about 1.33x as fast at 24.
 func TestFigure3Shape(t *testing.T) {
-	fig, err := Figure3(false)
+	fig, err := Config{}.Figure3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestFigure3Shape(t *testing.T) {
 // bisection 50% lower, Figure 4's caption) are 1.5x slower than the
 // 4/8/16-midplane sizes in the same series.
 func TestFigure4Shape(t *testing.T) {
-	fig, err := Figure4(false)
+	fig, err := Config{}.Figure4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,11 +214,11 @@ func TestSimulatePairingFullRoundsConsistent(t *testing.T) {
 	// one-round-scaled fast path.
 	p := bgq.MustPartition(1, 1, 1, 1)
 	cfg := model.PairingConfig{Partition: p, Rounds: 3, ChunkBytes: 1e8, ChunksPerRound: 2}
-	fast, err := SimulatePairing(cfg, false)
+	fast, err := SimulatePairing(context.Background(), cfg, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := SimulatePairing(cfg, true)
+	full, err := SimulatePairing(context.Background(), cfg, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestSimulatePairingFullRoundsConsistent(t *testing.T) {
 }
 
 func TestTable3Render(t *testing.T) {
-	tab := Table3()
+	tab := genTable(t, Config.Table3)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("Table 3 rows = %d", len(tab.Rows))
 	}
@@ -248,7 +249,7 @@ func TestTable3Render(t *testing.T) {
 }
 
 func TestTable4Render(t *testing.T) {
-	tab := Table4()
+	tab := genTable(t, Config.Table4)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("Table 4 rows = %d", len(tab.Rows))
 	}
@@ -270,7 +271,7 @@ func TestTable4Render(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	fig, err := Figure5()
+	fig, err := Config{}.Figure5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure6Shape(t *testing.T) {
-	fig, err := Figure6()
+	fig, err := Config{}.Figure6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestFigure6Shape(t *testing.T) {
 }
 
 func TestChartRender(t *testing.T) {
-	fig, err := Figure3(false)
+	fig, err := Config{}.Figure3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,11 +23,11 @@ func TestFullRoundSimulationAtScale(t *testing.T) {
 		bgq.MustPartition(2, 2, 1, 1),
 	} {
 		cfg := model.PaperPairing(p)
-		fast, err := SimulatePairing(cfg, false)
+		fast, err := SimulatePairing(context.Background(), cfg, false)
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := SimulatePairing(cfg, true)
+		full, err := SimulatePairing(context.Background(), cfg, true)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"netpart/internal/tabulate"
+)
+
+// genTable runs a table generator with default options, failing the
+// test on error.
+func genTable(t *testing.T, gen func(Config, context.Context) (tabulate.Table, error)) tabulate.Table {
+	t.Helper()
+	tab, err := gen(Config{}, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// genBW runs a bandwidth-figure generator with default options.
+func genBW(t *testing.T, gen func(Config, context.Context) (BWFigure, error)) BWFigure {
+	t.Helper()
+	f, err := gen(Config{}, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"netpart/internal/bgq"
@@ -27,49 +28,66 @@ type MatmulFigure struct {
 // Figure5 reproduces paper Figure 5: Strassen-Winograd communication
 // times on Mira's current vs proposed partitions, via the calibrated
 // CAPS cost model.
-func Figure5() (MatmulFigure, error) {
-	mira := bgq.Mira()
+func (c Config) Figure5(ctx context.Context) (MatmulFigure, error) {
 	fig := MatmulFigure{Title: "Figure 5: Mira matrix multiplication communication time"}
-	for _, mp := range []int{4, 8, 16, 24} {
+	mira, err := c.machine("mira")
+	if err != nil {
+		return fig, err
+	}
+	mps := []int{4, 8, 16, 24}
+	ptsA := make([]MatmulPoint, len(mps))
+	ptsB := make([]MatmulPoint, len(mps))
+	if err := c.forEachProgress(ctx, len(mps), func(i int) error {
+		mp := mps[i]
 		cur, ok := mira.Predefined(mp)
 		if !ok {
-			return fig, fmt.Errorf("experiments: no predefined %d-midplane partition", mp)
+			return fmt.Errorf("experiments: %s has no predefined %d-midplane partition", mira.Name, mp)
 		}
 		prop, ok := mira.Proposed(mp)
 		if !ok {
-			return fig, fmt.Errorf("experiments: no proposed %d-midplane partition", mp)
+			return fmt.Errorf("experiments: %s has no proposed %d-midplane partition", mira.Name, mp)
 		}
 		pa, err := matmulPoint(mp, cur, MatmulTable3Config(mp, cur))
 		if err != nil {
-			return fig, err
+			return err
 		}
 		pb, err := matmulPoint(mp, prop, MatmulTable3Config(mp, prop))
 		if err != nil {
-			return fig, err
+			return err
 		}
-		fig.PointsA = append(fig.PointsA, pa)
-		fig.PointsB = append(fig.PointsB, pb)
+		ptsA[i], ptsB[i] = pa, pb
+		return nil
+	}); err != nil {
+		return fig, err
 	}
+	fig.PointsA, fig.PointsB = ptsA, ptsB
 	return fig, nil
 }
 
 // Figure6 reproduces paper Figure 6: the strong-scaling experiment
 // (n=9408) on 2, 4 and 8 midplanes.
-func Figure6() (MatmulFigure, error) {
+func (c Config) Figure6(ctx context.Context) (MatmulFigure, error) {
 	fig := MatmulFigure{Title: "Figure 6: Mira strong scaling (n=9408)"}
-	for _, mp := range []int{2, 4, 8} {
+	mps := []int{2, 4, 8}
+	ptsA := make([]MatmulPoint, len(mps))
+	ptsB := make([]MatmulPoint, len(mps))
+	if err := c.forEachProgress(ctx, len(mps), func(i int) error {
+		mp := mps[i]
 		cur, prop := Table4Partitions(mp)
 		pa, err := matmulPoint(mp, cur, Table4Config(mp, cur))
 		if err != nil {
-			return fig, err
+			return err
 		}
 		pb, err := matmulPoint(mp, prop, Table4Config(mp, prop))
 		if err != nil {
-			return fig, err
+			return err
 		}
-		fig.PointsA = append(fig.PointsA, pa)
-		fig.PointsB = append(fig.PointsB, pb)
+		ptsA[i], ptsB[i] = pa, pb
+		return nil
+	}); err != nil {
+		return fig, err
 	}
+	fig.PointsA, fig.PointsB = ptsA, ptsB
 	return fig, nil
 }
 

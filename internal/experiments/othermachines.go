@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"netpart/internal/tabulate"
 	"netpart/internal/topo"
 )
@@ -9,18 +11,24 @@ import (
 // topologies" discussion: for each non-Blue-Gene system the paper
 // names, the solver its topology admits and the resulting full-network
 // bisection bandwidth.
-func OtherTopologies() tabulate.Table {
+func (c Config) OtherTopologies(ctx context.Context) (tabulate.Table, error) {
 	t := tabulate.Table{
 		Title:   "§5: isoperimetric analysis of other network topologies",
 		Headers: []string{"system", "topology", "nodes", "bisection (links)", "method"},
 	}
-	for _, m := range topo.OtherMachines() {
+	machines := topo.OtherMachines()
+	rows, err := c.tableRows(ctx, len(machines), func(i int) ([]any, error) {
+		m := machines[i]
 		b, err := m.Bisection()
 		bs := tabulate.FormatFloat(b)
 		if err != nil {
 			bs = "n/a: " + err.Error()
 		}
-		t.AddRow(m.Name, m.Topology, m.NumNodes(), bs, m.Method)
+		return []any{m.Name, m.Topology, m.NumNodes(), bs, m.Method}, nil
+	})
+	if err != nil {
+		return t, err
 	}
-	return t
+	addRows(&t, rows)
+	return t, nil
 }

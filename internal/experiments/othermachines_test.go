@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestOtherTopologies(t *testing.T) {
-	tab := OtherTopologies()
+	tab, err := Config{}.OtherTopologies(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}

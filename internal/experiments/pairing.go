@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,13 +34,20 @@ type PairingFigure struct {
 	PointsB []PairingPoint
 }
 
+// simCancelStride bounds how many flow starts a pairing simulation
+// runs between context checks, so cancellation lands promptly even
+// inside a single large round (12288 flows at 24 midplanes).
+const simCancelStride = 256
+
 // SimulatePairing runs the §4.1 bisection-pairing benchmark on a
 // partition through the flow-level simulator and returns the total
 // completion time for the counted rounds. Rounds are identical in the
 // fluid model (every pair exchanges the same volume and the pattern is
 // symmetric), so one round is simulated with full event resolution and
 // scaled; set fullRounds to simulate every round end-to-end instead.
-func SimulatePairing(cfg model.PairingConfig, fullRounds bool) (float64, error) {
+// The context is checked between rounds and every simCancelStride flow
+// starts; a canceled simulation returns ctx.Err() promptly.
+func SimulatePairing(ctx context.Context, cfg model.PairingConfig, fullRounds bool) (float64, error) {
 	shape := cfg.Partition.NodeShape()
 	tor, err := torus.New(shape...)
 	if err != nil {
@@ -56,7 +64,15 @@ func SimulatePairing(cfg model.PairingConfig, fullRounds bool) (float64, error) 
 	total := 0.0
 	buf := make([]int, 0, 64)
 	for round := 0; round < simRounds; round++ {
-		for _, d := range demands {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for di, d := range demands {
+			if di%simCancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
 			buf = r.Route(d.Src, d.Dst, buf[:0])
 			sim.StartFlow(buf, d.Bytes, 0)
 		}
@@ -73,15 +89,15 @@ func SimulatePairing(cfg model.PairingConfig, fullRounds bool) (float64, error) 
 // B1, ...) so the expensive large-partition pairs spread across
 // workers, and results land in index-addressed slots, keeping the
 // output identical to the sequential order.
-func pairingPoints(a, b []bgq.Partition, fullRounds bool) (ptsA, ptsB []PairingPoint, err error) {
+func (c Config) pairingPoints(ctx context.Context, a, b []bgq.Partition) (ptsA, ptsB []PairingPoint, err error) {
 	n := len(a)
 	pts := make([]PairingPoint, 2*n)
-	err = forEach(2*n, func(i int) error {
+	err = c.forEachProgress(ctx, 2*n, func(i int) error {
 		p := a[i/2]
 		if i%2 == 1 {
 			p = b[i/2]
 		}
-		pt, err := pairingPoint(p, fullRounds)
+		pt, err := c.pairingPoint(ctx, p)
 		if err != nil {
 			return err
 		}
@@ -100,9 +116,9 @@ func pairingPoints(a, b []bgq.Partition, fullRounds bool) (ptsA, ptsB []PairingP
 }
 
 // pairingPoint measures one partition.
-func pairingPoint(p bgq.Partition, fullRounds bool) (PairingPoint, error) {
+func (c Config) pairingPoint(ctx context.Context, p bgq.Partition) (PairingPoint, error) {
 	cfg := model.PaperPairing(p)
-	sim, err := SimulatePairing(cfg, fullRounds)
+	sim, err := SimulatePairing(ctx, cfg, c.FullRounds)
 	if err != nil {
 		return PairingPoint{}, err
 	}
@@ -117,62 +133,65 @@ func pairingPoint(p bgq.Partition, fullRounds bool) (PairingPoint, error) {
 
 // Figure3 reproduces paper Figure 3: the bisection-pairing experiment
 // on Mira's current vs proposed partitions at 4, 8, 16 and 24
-// midplanes.
-func Figure3(fullRounds bool) (PairingFigure, error) {
-	mira := bgq.Mira()
+// midplanes. Set Config.FullRounds to simulate every round end-to-end.
+func (c Config) Figure3(ctx context.Context) (PairingFigure, error) {
 	fig := PairingFigure{
 		Title:   "Figure 3: Mira bisection pairing (26 rounds, 16 x 0.1342 GB per round)",
 		SeriesA: "current",
 		SeriesB: "proposed",
 	}
+	mira, err := c.machine("mira")
+	if err != nil {
+		return fig, err
+	}
+	if err := ctx.Err(); err != nil {
+		return fig, err
+	}
 	mps := []int{4, 8, 16, 24}
 	partsA := make([]bgq.Partition, len(mps))
 	partsB := make([]bgq.Partition, len(mps))
-	if err := forEach(len(mps), func(i int) error {
-		cur, ok := mira.Predefined(mps[i])
+	for i, mp := range mps {
+		cur, ok := mira.Predefined(mp)
 		if !ok {
-			return fmt.Errorf("experiments: Mira has no predefined %d-midplane partition", mps[i])
+			return fig, fmt.Errorf("experiments: %s has no predefined %d-midplane partition", mira.Name, mp)
 		}
-		prop, ok := mira.Proposed(mps[i])
+		prop, ok := mira.Proposed(mp)
 		if !ok {
-			return fmt.Errorf("experiments: Mira has no proposed %d-midplane partition", mps[i])
+			return fig, fmt.Errorf("experiments: %s has no proposed %d-midplane partition", mira.Name, mp)
 		}
 		partsA[i], partsB[i] = cur, prop
-		return nil
-	}); err != nil {
-		return fig, err
 	}
-	var err error
-	fig.PointsA, fig.PointsB, err = pairingPoints(partsA, partsB, fullRounds)
+	fig.PointsA, fig.PointsB, err = c.pairingPoints(ctx, partsA, partsB)
 	return fig, err
 }
 
 // Figure4 reproduces paper Figure 4: the bisection-pairing experiment
 // on JUQUEEN's worst vs best partitions at 4, 6, 8, 12 and 16
-// midplanes.
-func Figure4(fullRounds bool) (PairingFigure, error) {
-	jq := bgq.Juqueen()
+// midplanes. Set Config.FullRounds to simulate every round end-to-end.
+func (c Config) Figure4(ctx context.Context) (PairingFigure, error) {
 	fig := PairingFigure{
 		Title:   "Figure 4: JUQUEEN bisection pairing (26 rounds, 16 x 0.1342 GB per round)",
 		SeriesA: "worst-case",
 		SeriesB: "best-case",
 	}
+	jq, err := c.machine("juqueen")
+	if err != nil {
+		return fig, err
+	}
+	if err := ctx.Err(); err != nil {
+		return fig, err
+	}
 	mps := []int{4, 6, 8, 12, 16}
 	partsA := make([]bgq.Partition, len(mps))
 	partsB := make([]bgq.Partition, len(mps))
-	if err := forEach(len(mps), func(i int) error {
-		worst, ok := jq.Worst(mps[i])
-		if !ok {
-			return fmt.Errorf("experiments: JUQUEEN has no %d-midplane partition", mps[i])
+	for i, mp := range mps {
+		worst, best, err := extremes(jq, mp)
+		if err != nil {
+			return fig, err
 		}
-		best, _ := jq.Best(mps[i])
 		partsA[i], partsB[i] = worst, best
-		return nil
-	}); err != nil {
-		return fig, err
 	}
-	var err error
-	fig.PointsA, fig.PointsB, err = pairingPoints(partsA, partsB, fullRounds)
+	fig.PointsA, fig.PointsB, err = c.pairingPoints(ctx, partsA, partsB)
 	return fig, err
 }
 

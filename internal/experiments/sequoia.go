@@ -1,7 +1,8 @@
 package experiments
 
 import (
-	"netpart/internal/bgq"
+	"context"
+
 	"netpart/internal/tabulate"
 )
 
@@ -11,23 +12,35 @@ import (
 // permit all geometries the network allows, so both optimal and
 // sub-optimal partitions exist for many sizes. The table lists every
 // size where they differ — the improvement the analysis predicts would
-// be available.
-func SequoiaAnalysis() tabulate.Table {
+// be available. Rows fan out over the worker pool (Sequoia has 143
+// feasible sizes, each a full geometry enumeration).
+func (c Config) SequoiaAnalysis(ctx context.Context) (tabulate.Table, error) {
 	t := tabulate.Table{
 		Title: "Sequoia (4x4x4x3 midplanes): sizes where allocation geometry matters",
 		Headers: []string{"P (nodes)", "Midplanes", "Worst", "Worst BW", "Best", "Best BW",
 			"potential speedup"},
 	}
-	seq := bgq.Sequoia()
-	for _, size := range seq.FeasibleSizes() {
-		worst, _ := seq.Worst(size)
-		best, _ := seq.Best(size)
+	seq, err := c.machine("sequoia")
+	if err != nil {
+		return t, err
+	}
+	sizes := seq.FeasibleSizes()
+	rows, err := c.tableRows(ctx, len(sizes), func(i int) ([]any, error) {
+		size := sizes[i]
+		worst, best, err := extremes(seq, size)
+		if err != nil {
+			return nil, err
+		}
 		if worst.BisectionBW() == best.BisectionBW() {
-			continue
+			return nil, nil
 		}
 		ratio := float64(best.BisectionBW()) / float64(worst.BisectionBW())
-		t.AddRow(worst.Nodes(), size, worst.String(), worst.BisectionBW(),
-			best.String(), best.BisectionBW(), tabulate.FormatFloat(ratio)+"x")
+		return []any{worst.Nodes(), size, worst.String(), worst.BisectionBW(),
+			best.String(), best.BisectionBW(), tabulate.FormatFloat(ratio) + "x"}, nil
+	})
+	if err != nil {
+		return t, err
 	}
-	return t
+	addRows(&t, rows)
+	return t, nil
 }

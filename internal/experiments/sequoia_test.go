@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,7 +9,10 @@ import (
 )
 
 func TestSequoiaAnalysis(t *testing.T) {
-	tab := SequoiaAnalysis()
+	tab, err := Config{}.SequoiaAnalysis(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) == 0 {
 		t.Fatal("Sequoia should have improvable sizes")
 	}

@@ -489,7 +489,8 @@ func (s *Sim) compactIDWindow() {
 // flow IDs; ok=false when no flows are active. Cohorts of flows whose
 // completions coincide (the common case in the paper's symmetric
 // workloads) are returned as one batch, costing a single rate
-// recomputation.
+// recomputation. Like Advance, the returned slice is reused by the
+// next Step/Advance call — copy it to retain the IDs.
 func (s *Sim) Step() ([]FlowID, bool) {
 	dt, ok := s.TimeToNextCompletion()
 	if !ok {

@@ -1,0 +1,139 @@
+package tabulate
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strconv"
+)
+
+// Machine-readable encodings. Both encoders are byte-deterministic:
+// the same Table or Chart value always serializes to the same bytes
+// (struct field order fixes the JSON key order, rows are emitted in
+// slice order, and floats use Go's shortest round-trip formatting),
+// so golden files and CI drift checks can diff the output directly.
+
+// TableData is the JSON-encodable form of a Table (fixed key order,
+// nil rows normalized to an empty slice).
+type TableData struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Data converts the table to its JSON-encodable form.
+func (t Table) Data() TableData {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return TableData{Title: t.Title, Headers: t.Headers, Rows: rows}
+}
+
+// JSON returns the table as indented, byte-deterministic JSON.
+func (t Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t.Data(), "", "  ")
+}
+
+// CSV returns the table as RFC 4180 CSV: one header record followed by
+// the data rows. The title is not part of the CSV (it belongs to the
+// rendered form); quoting and escaping follow encoding/csv.
+func (t Table) CSV() ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(t.Headers); err != nil {
+		return nil, err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ChartData is the JSON-encodable form of a Chart: NaN points (missing
+// values) become nulls, which encoding/json can represent and every
+// JSON consumer understands.
+type ChartData struct {
+	Title  string       `json:"title"`
+	XLabel string       `json:"x_label"`
+	YLabel string       `json:"y_label"`
+	X      []string     `json:"x"`
+	Series []SeriesData `json:"series"`
+}
+
+// SeriesData is one chart series with missing points as nulls.
+type SeriesData struct {
+	Label string     `json:"label"`
+	Y     []*float64 `json:"y"`
+}
+
+// Data converts the chart to its JSON-encodable form.
+func (c Chart) Data() ChartData {
+	d := ChartData{Title: c.Title, XLabel: c.XLabel, YLabel: c.YLabel, X: c.X}
+	if d.X == nil {
+		d.X = []string{}
+	}
+	d.Series = make([]SeriesData, len(c.Series))
+	for si, s := range c.Series {
+		ys := make([]*float64, len(s.Y))
+		for i, v := range s.Y {
+			if !math.IsNaN(v) {
+				v := v
+				ys[i] = &v
+			}
+		}
+		d.Series[si] = SeriesData{Label: s.Label, Y: ys}
+	}
+	return d
+}
+
+// JSON returns the chart as indented, byte-deterministic JSON.
+func (c Chart) JSON() ([]byte, error) {
+	return json.MarshalIndent(c.Data(), "", "  ")
+}
+
+// CSV returns the chart as CSV: the first column is the X value
+// (headed by the chart's XLabel, or "x" when unset), followed by one
+// column per series. Missing points (NaN) are empty cells; floats use
+// the shortest round-trip decimal form.
+func (c Chart) CSV() ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	head := make([]string, 0, 1+len(c.Series))
+	xl := c.XLabel
+	if xl == "" {
+		xl = "x"
+	}
+	head = append(head, xl)
+	for _, s := range c.Series {
+		head = append(head, s.Label)
+	}
+	if err := w.Write(head); err != nil {
+		return nil, err
+	}
+	rec := make([]string, len(head))
+	for xi, x := range c.X {
+		rec[0] = x
+		for si, s := range c.Series {
+			rec[si+1] = ""
+			if xi < len(s.Y) && !math.IsNaN(s.Y[xi]) {
+				rec[si+1] = strconv.FormatFloat(s.Y[xi], 'g', -1, 64)
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,122 @@
+package tabulate
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	t := Table{
+		Title:   "sample",
+		Headers: []string{"name", "value"},
+	}
+	t.AddRow("plain", 1)
+	t.AddRow("quoted, comma", 2.5)
+	t.AddRow(`embedded "quotes"`, 3)
+	return t
+}
+
+func TestTableJSON(t *testing.T) {
+	js, err := sampleTable().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc TableData
+	if err := json.Unmarshal(js, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, js)
+	}
+	if doc.Title != "sample" || len(doc.Rows) != 3 || doc.Rows[1][1] != "2.500" {
+		t.Errorf("round-trip mismatch: %+v", doc)
+	}
+	// Determinism: two encodings are byte-identical.
+	js2, _ := sampleTable().JSON()
+	if !bytes.Equal(js, js2) {
+		t.Error("JSON encoding not deterministic")
+	}
+	// Empty tables encode rows as [], not null.
+	empty, err := (Table{Headers: []string{"a"}}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(empty), "null") {
+		t.Errorf("empty table encoded null: %s", empty)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	cs, err := sampleTable().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(cs), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), lines)
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != `"quoted, comma",2.500` {
+		t.Errorf("comma row = %q", lines[2])
+	}
+	if lines[3] != `"embedded ""quotes""",3` {
+		t.Errorf("quote row = %q", lines[3])
+	}
+}
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "chart",
+		XLabel: "midplanes",
+		YLabel: "bw",
+		X:      []string{"4", "8"},
+		Series: []Series{
+			{Label: "a", Y: []float64{1, 2.25}},
+			{Label: "b", Y: []float64{math.NaN(), 4}},
+		},
+	}
+}
+
+func TestChartJSON(t *testing.T) {
+	js, err := sampleChart().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc ChartData
+	if err := json.Unmarshal(js, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, js)
+	}
+	if doc.Series[1].Y[0] != nil {
+		t.Error("NaN should encode as null")
+	}
+	if doc.Series[1].Y[1] == nil || *doc.Series[1].Y[1] != 4 {
+		t.Errorf("series b point 1 = %v", doc.Series[1].Y[1])
+	}
+	js2, _ := sampleChart().JSON()
+	if !bytes.Equal(js, js2) {
+		t.Error("chart JSON not deterministic")
+	}
+}
+
+func TestChartCSV(t *testing.T) {
+	cs, err := sampleChart().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "midplanes,a,b\n4,1,\n8,2.25,4\n"
+	if string(cs) != want {
+		t.Errorf("CSV = %q, want %q", cs, want)
+	}
+	// Unset XLabel falls back to "x".
+	c := sampleChart()
+	c.XLabel = ""
+	cs, err = c.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(cs), "x,a,b\n") {
+		t.Errorf("fallback header: %q", cs)
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"netpart"
 )
 
-// TestFacadeCoherence exercises every facade entry point and checks
-// the re-exports agree with each other.
+// TestFacadeCoherence exercises every facade entry point — including
+// the deprecated pre-Runner experiment wrappers, which must keep
+// working until removal — and checks the re-exports agree with each
+// other.
 func TestFacadeCoherence(t *testing.T) {
 	tor, err := netpart.NewTorus(6, 4, 2)
 	if err != nil {

@@ -1,0 +1,190 @@
+package netpart
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"netpart/internal/experiments"
+	"netpart/internal/tabulate"
+)
+
+// Progress is one progress report from a running experiment: Done of
+// Total units (table rows or figure points) have completed.
+type Progress struct {
+	Experiment string // experiment ID
+	Done       int
+	Total      int
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkers bounds the worker pool experiments fan out on. Zero or
+// negative (the default) means the runnable-CPU count; 1 forces the
+// sequential path. Output is byte-identical regardless of pool size.
+func WithWorkers(n int) Option { return func(r *Runner) { r.workers = n } }
+
+// WithFullRounds makes the pairing experiments (figure3, figure4)
+// simulate every communication round end-to-end instead of simulating
+// one round and scaling (the rounds are identical in the fluid model,
+// so results agree to floating point; full rounds cost ~26x).
+func WithFullRounds(b bool) Option { return func(r *Runner) { r.fullRounds = b } }
+
+// WithProgress installs a progress callback. Calls are serialized
+// across every Run of the Runner (so a callback may update shared
+// state without its own locking), but may arrive from worker
+// goroutines; completion order is not row order.
+func WithProgress(fn func(Progress)) Option { return func(r *Runner) { r.progress = fn } }
+
+// withMachines substitutes the machine catalog; test-only (corrupted
+// and hypothetical catalogs), hence unexported.
+func withMachines(fn func(string) (*Machine, error)) Option {
+	return func(r *Runner) { r.machines = fn }
+}
+
+// Runner executes registered experiments with per-call options. The
+// zero value runs with defaults; construct with NewRunner to set
+// options. A Runner is configured once at construction and safe for
+// concurrent use: every option is per-Runner state, not package-global
+// state, so two Runners with different worker counts can run side by
+// side.
+type Runner struct {
+	workers    int
+	fullRounds bool
+	progress   func(Progress)
+	machines   func(string) (*Machine, error)
+
+	// progressMu serializes progress callbacks across concurrent Runs
+	// of this Runner (within one Run the driver already serializes).
+	progressMu sync.Mutex
+}
+
+// NewRunner returns a Runner configured by the given options.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// RunMeta records how a Result was produced. Fields that vary from
+// run to run (Elapsed, resolved Workers) are deliberately excluded
+// from the serialized encodings, which must be byte-deterministic.
+type RunMeta struct {
+	Workers    int           // resolved worker-pool bound
+	FullRounds bool          // whether pairing rounds were simulated individually
+	Elapsed    time.Duration // wall-clock time of the run
+}
+
+// Result is the uniform output of Runner.Run: the experiment
+// descriptor, the rendered table (always present), the chart for
+// figures, the typed figure data when there is one (BWFigure,
+// PairingFigure or MatmulFigure), and run metadata.
+type Result struct {
+	Experiment Experiment
+	Table      Table
+	Chart      *Chart // nil for pure tables
+	Data       any    // typed figure data; nil for pure tables
+	Meta       RunMeta
+}
+
+// Run executes the experiment registered under id and returns its
+// Result. The context cancels the run: the worker pool stops handing
+// out rows, the pairing simulator aborts between rounds and flow
+// batches, and Run returns ctx.Err().
+func (r *Runner) Run(ctx context.Context, id string) (*Result, error) {
+	exp, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("netpart: no experiment %q (known IDs: %v)", id, IDs())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := experiments.Config{
+		Workers:    r.workers,
+		FullRounds: r.fullRounds,
+		Machines:   r.machines,
+	}
+	if r.progress != nil {
+		fn := r.progress
+		cfg.Progress = func(done, total int) {
+			r.progressMu.Lock()
+			defer r.progressMu.Unlock()
+			fn(Progress{Experiment: exp.ID, Done: done, Total: total})
+		}
+	}
+	start := time.Now()
+	art, err := exp.run(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Experiment: exp,
+		Table:      art.table,
+		Chart:      art.chart,
+		Data:       art.data,
+		Meta: RunMeta{
+			Workers:    cfg.ResolvedWorkers(),
+			FullRounds: cfg.FullRounds,
+			Elapsed:    time.Since(start),
+		},
+	}, nil
+}
+
+// RunAll executes every registered experiment in presentation order
+// and returns the results. It stops at the first error (including
+// cancellation).
+func (r *Runner) RunAll(ctx context.Context) ([]*Result, error) {
+	results := make([]*Result, 0, len(registry))
+	for _, exp := range registry {
+		res, err := r.Run(ctx, exp.ID)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// resultDoc fixes the JSON shape of a Result. Run-varying metadata
+// (elapsed time, resolved worker count) is excluded so the encoding is
+// byte-deterministic for a given artifact and options.
+type resultDoc struct {
+	ID         string              `json:"id"`
+	Title      string              `json:"title"`
+	Kind       Kind                `json:"kind"`
+	Cost       Cost                `json:"cost"`
+	FullRounds bool                `json:"full_rounds"`
+	Table      tabulate.TableData  `json:"table"`
+	Chart      *tabulate.ChartData `json:"chart,omitempty"`
+}
+
+// JSON encodes the result as indented, byte-deterministic JSON: the
+// descriptor, the table grid, and (for figures) the chart series with
+// missing points as nulls.
+func (res *Result) JSON() ([]byte, error) {
+	doc := resultDoc{
+		ID:         res.Experiment.ID,
+		Title:      res.Experiment.Title,
+		Kind:       res.Experiment.Kind,
+		Cost:       res.Experiment.Cost,
+		FullRounds: res.Meta.FullRounds,
+		Table:      res.Table.Data(),
+	}
+	if res.Chart != nil {
+		d := res.Chart.Data()
+		doc.Chart = &d
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// CSV encodes the result's table as RFC 4180 CSV (header record plus
+// data rows), byte-deterministically. For figures, the chart series
+// are also available via Result.Chart.CSV().
+func (res *Result) CSV() ([]byte, error) {
+	return res.Table.CSV()
+}
