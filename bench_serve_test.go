@@ -1,0 +1,67 @@
+package netpart_test
+
+// Serving benchmarks. These live in the external test package
+// (netpart_test) because internal/serve imports the root netpart
+// package, which the in-package bench harness (bench_test.go) cannot
+// import back. `go test -bench=. .` runs both harnesses.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"netpart/internal/serve"
+)
+
+// warmServer returns a Server whose table3 result is cached, plus the
+// warmed response body length.
+func warmServer(b *testing.B) (*serve.Server, int, string) {
+	b.Helper()
+	srv := serve.New(serve.Options{Workers: 1})
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/experiments/table3/result", nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d", rec.Code)
+	}
+	return srv, rec.Body.Len(), rec.Header().Get("ETag")
+}
+
+// BenchmarkServeCachedResult measures the hot-cache request path of
+// the HTTP serving subsystem: a synchronous result fetch whose key is
+// already cached — negotiation + cache lookup + pre-rendered bytes,
+// no experiment work. This is netpartd's steady-state serving cost
+// per request.
+func BenchmarkServeCachedResult(b *testing.B) {
+	srv, n, _ := warmServer(b)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/v1/experiments/table3/result", nil)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal("cache miss on hot path")
+		}
+	}
+}
+
+// BenchmarkServeRevalidation is the same path when the client holds a
+// matching ETag: the 304 answer never touches the body.
+func BenchmarkServeRevalidation(b *testing.B) {
+	srv, _, etag := warmServer(b)
+	if etag == "" {
+		b.Fatal("no ETag after warmup")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/v1/experiments/table3/result", nil)
+		req.Header.Set("If-None-Match", etag)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotModified {
+			b.Fatal("revalidation missed")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command netpartd serves the netpart experiment registry over HTTP:
+// the /v1 REST surface of internal/serve (registry listing,
+// synchronous cached results, asynchronous runs with SSE progress
+// streams), with per-cost-class admission control and request
+// coalescing in front of the Runner.
+//
+// Usage:
+//
+//	netpartd [-addr :8080] [-workers 0] [-run-timeout 10m]
+//	         [-cheap 16] [-moderate 4] [-heavy 1] [-grace 30s]
+//
+// The daemon logs the bound address on startup ("listening on ..."),
+// so -addr 127.0.0.1:0 works for smoke tests that need a free port.
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight jobs get -grace to finish, stragglers are canceled.
+//
+// Quick tour:
+//
+//	curl -s localhost:8080/v1/experiments?cost=cheap
+//	curl -s localhost:8080/v1/experiments/table6/result?format=markdown
+//	curl -s -X POST localhost:8080/v1/runs -d '{"experiment":"figure3"}'
+//	curl -N localhost:8080/v1/runs/run-000001/events
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"netpart"
+	"netpart/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+	workers := flag.Int("workers", 0, "default worker-pool bound per run (0 = all CPUs)")
+	runTimeout := flag.Duration("run-timeout", serve.DefaultRunTimeout, "per-run deadline (0 disables)")
+	cheap := flag.Int("cheap", serve.DefaultAdmission[netpart.CostCheap], "max concurrent cheap runs")
+	moderate := flag.Int("moderate", serve.DefaultAdmission[netpart.CostModerate], "max concurrent moderate runs")
+	heavy := flag.Int("heavy", serve.DefaultAdmission[netpart.CostHeavy], "max concurrent heavy runs")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace for in-flight jobs")
+	flag.Parse()
+	log.SetPrefix("netpartd: ")
+	log.SetFlags(log.LstdFlags)
+	if *runTimeout == 0 {
+		*runTimeout = -1 // flag 0 means no deadline; Options 0 means default
+	}
+
+	srv := serve.New(serve.Options{
+		Workers:    *workers,
+		RunTimeout: *runTimeout,
+		Admission: map[netpart.Cost]int{
+			netpart.CostCheap:    *cheap,
+			netpart.CostModerate: *moderate,
+			netpart.CostHeavy:    *heavy,
+		},
+	})
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (%d experiments registered)", ln.Addr(), len(netpart.Registry()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (grace %s)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Drain jobs and connections concurrently: an open SSE stream only
+	// goes idle once its job finishes, so draining jobs first (not
+	// after) is what lets httpSrv.Shutdown complete within the grace.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+			log.Printf("job drain: %v (stragglers canceled)", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+	wg.Wait()
+	log.Print("bye")
+}

@@ -45,7 +45,7 @@ func TestMidRunCancelTableDriver(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		ctx, cancel := context.WithCancel(context.Background())
 		ran := 0
-		c := Config{Workers: workers, Progress: func(done, total int) {
+		c := Config{Workers: workers, Progress: func(_ string, done, total int) {
 			ran = done
 			cancel()
 		}}
@@ -68,7 +68,7 @@ func TestMidRunCancelTableDriver(t *testing.T) {
 func TestMidRunCancelPairingFigure(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	c := Config{Workers: 1, Progress: func(done, total int) { cancel() }}
+	c := Config{Workers: 1, Progress: func(_ string, done, total int) { cancel() }}
 	_, err := c.Figure4(ctx)
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
@@ -82,7 +82,7 @@ func TestMidRunCancelPairingFigure(t *testing.T) {
 func TestCancelAfterAllUnitsComplete(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		ctx, cancel := context.WithCancel(context.Background())
-		c := Config{Workers: workers, Progress: func(done, total int) {
+		c := Config{Workers: workers, Progress: func(_ string, done, total int) {
 			if done == total {
 				cancel()
 			}

@@ -101,7 +101,7 @@ func TestForEachProgress(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		c := Config{Workers: workers}
 		var reports [][2]int
-		c.Progress = func(done, total int) { reports = append(reports, [2]int{done, total}) }
+		c.Progress = func(_ string, done, total int) { reports = append(reports, [2]int{done, total}) }
 		if err := c.forEachProgress(context.Background(), 9, func(i int) error { return nil }); err != nil {
 			t.Fatalf("Workers=%d: %v", workers, err)
 		}

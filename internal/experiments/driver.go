@@ -34,10 +34,16 @@ type Config struct {
 
 	// Progress, when non-nil, is called after each completed unit of
 	// a generator's main loop (a table row, a figure point) with the
-	// number of completed units and the total. Calls are serialized
-	// but may arrive from pool goroutines; completion order is not
-	// index order.
-	Progress func(done, total int)
+	// run token, the number of completed units and the total. Calls
+	// are serialized but may arrive from pool goroutines; completion
+	// order is not index order.
+	Progress func(token string, done, total int)
+
+	// RunToken identifies this run in progress reports. Concurrent
+	// runs of the same generator are indistinguishable to a
+	// multiplexed progress consumer without it; the root Runner mints
+	// a unique token per Run call.
+	RunToken string
 
 	// Machines resolves a machine name ("mira", "juqueen", "sequoia",
 	// "juqueen48", "juqueen54") to its model. Nil means the built-in
@@ -141,7 +147,7 @@ func addRows(t *tabulate.Table, rows [][]any) {
 	}
 }
 
-func (c Config) run(ctx context.Context, n int, fn func(i int) error, progress func(done, total int)) error {
+func (c Config) run(ctx context.Context, n int, fn func(i int) error, progress func(token string, done, total int)) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -158,7 +164,7 @@ func (c Config) run(ctx context.Context, n int, fn func(i int) error, progress f
 				return err
 			}
 			if progress != nil {
-				progress(i+1, n)
+				progress(c.RunToken, i+1, n)
 			}
 		}
 		return nil
@@ -187,7 +193,7 @@ func (c Config) run(ctx context.Context, n int, fn func(i int) error, progress f
 				if progress != nil {
 					progressMu.Lock()
 					progressDone++
-					progress(progressDone, n)
+					progress(c.RunToken, progressDone, n)
 					progressMu.Unlock()
 				}
 			}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"netpart"
+)
+
+// Key identifies one cacheable result: an experiment ID plus the
+// options that can change its bytes. Keys are built from normalized
+// options (Experiment.Normalize), so the worker count and irrelevant
+// FullRounds flags never fragment the cache: two requests with the
+// same Key are guaranteed byte-identical encodings. The key space is
+// tiny by construction (14 experiments, FullRounds meaningful for
+// two), so the cache needs no eviction.
+type Key struct {
+	ID         string
+	FullRounds bool
+}
+
+func keyFor(exp netpart.Experiment, opts netpart.RunOptions) Key {
+	n := exp.Normalize(opts)
+	return Key{ID: exp.ID, FullRounds: n.FullRounds}
+}
+
+// String renders the key in the canonical query form the API
+// documents ("figure3?full_rounds=true").
+func (k Key) String() string {
+	return fmt.Sprintf("%s?full_rounds=%t", k.ID, k.FullRounds)
+}
+
+// encoding is one negotiated representation of a finished result:
+// its body bytes and the strong ETag over them. Because the
+// underlying encoders are byte-deterministic, the ETag is a true
+// content identity — equal tags mean equal bytes.
+type encoding struct {
+	contentType string
+	body        []byte
+	etag        string
+}
+
+func etagFor(body []byte) string {
+	sum := sha256.Sum256(body)
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// entry is a finished, cached result plus its lazily rendered
+// encodings (one per negotiated content type).
+type entry struct {
+	res *netpart.Result
+
+	mu   sync.Mutex
+	encs map[string]*encoding
+}
+
+// encoding renders (once) and returns the representation for the
+// given content type.
+func (e *entry) encoding(ct string) (*encoding, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if enc, ok := e.encs[ct]; ok {
+		return enc, nil
+	}
+	var body []byte
+	var err error
+	switch ct {
+	case ctJSON:
+		body, err = e.res.JSON()
+	case ctCSV:
+		body, err = e.res.CSV()
+	case ctMarkdown:
+		body = e.res.Markdown()
+	default:
+		err = fmt.Errorf("serve: no encoder for %q", ct)
+	}
+	if err != nil {
+		return nil, err
+	}
+	enc := &encoding{contentType: ct, body: body, etag: etagFor(body)}
+	e.encs[ct] = enc
+	return enc, nil
+}
+
+// runFunc executes one experiment for the cache: it is called at most
+// once per flight, on a context detached from any single request, and
+// publishes progress for every waiter coalesced onto the flight.
+type runFunc func(ctx context.Context, key Key, opts netpart.RunOptions, publish func(netpart.Progress)) (*netpart.Result, error)
+
+// flight is one in-progress computation that concurrent identical
+// requests coalesce onto. Waiters attach and detach; when the last
+// waiter walks away before the run finishes, the flight's context is
+// canceled so the work stops promptly. Errors (including
+// cancellation) are never cached — the next request starts fresh.
+type flight struct {
+	key    Key
+	done   chan struct{} // closed when entry/err are set
+	cancel context.CancelFunc
+
+	// guarded by cache.mu until done is closed, immutable after
+	waiters int
+
+	entry *entry
+	err   error
+
+	subMu sync.Mutex
+	subs  map[int]func(netpart.Progress)
+	nsub  int
+}
+
+// subscribe registers a per-waiter progress sink and returns its
+// unsubscribe function. Sinks must not block: they run on the
+// runner's serialized progress path.
+func (f *flight) subscribe(fn func(netpart.Progress)) func() {
+	if fn == nil {
+		return func() {}
+	}
+	f.subMu.Lock()
+	id := f.nsub
+	f.nsub++
+	f.subs[id] = fn
+	f.subMu.Unlock()
+	return func() {
+		f.subMu.Lock()
+		delete(f.subs, id)
+		f.subMu.Unlock()
+	}
+}
+
+func (f *flight) publish(p netpart.Progress) {
+	f.subMu.Lock()
+	sinks := make([]func(netpart.Progress), 0, len(f.subs))
+	for _, fn := range f.subs {
+		sinks = append(sinks, fn)
+	}
+	f.subMu.Unlock()
+	for _, fn := range sinks {
+		fn(p)
+	}
+}
+
+// cache is the coalescing result cache: completed results by Key,
+// plus the in-flight runs identical requests join instead of
+// recomputing. Completed entries live forever (the normalized key
+// space is bounded); failed flights evaporate.
+type cache struct {
+	run     runFunc
+	timeout time.Duration // per-flight run deadline, 0 = none
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	flights map[Key]*flight
+}
+
+func newCache(run runFunc, timeout time.Duration) *cache {
+	return &cache{
+		run:     run,
+		timeout: timeout,
+		entries: map[Key]*entry{},
+		flights: map[Key]*flight{},
+	}
+}
+
+// cached returns the completed entry for key without triggering work.
+func (c *cache) cached(key Key) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// do returns the entry for key, starting a run or joining the
+// in-flight one. onProgress (optional) receives the flight's progress
+// while this caller waits. When ctx is canceled the caller abandons
+// the flight; the run itself is canceled only when its last waiter
+// has abandoned it, so one impatient client cannot kill a result
+// others still want.
+func (c *cache) do(ctx context.Context, key Key, opts netpart.RunOptions, onProgress func(netpart.Progress)) (*entry, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return e, nil
+	}
+	f, ok := c.flights[key]
+	if !ok {
+		fctx := context.Background()
+		var cancel context.CancelFunc
+		if c.timeout > 0 {
+			fctx, cancel = context.WithTimeout(fctx, c.timeout)
+		} else {
+			fctx, cancel = context.WithCancel(fctx)
+		}
+		f = &flight{
+			key:    key,
+			done:   make(chan struct{}),
+			cancel: cancel,
+			subs:   map[int]func(netpart.Progress){},
+		}
+		c.flights[key] = f
+		go c.runFlight(f, fctx, opts)
+	}
+	f.waiters++
+	c.mu.Unlock()
+
+	unsubscribe := f.subscribe(onProgress)
+	defer unsubscribe()
+
+	select {
+	case <-f.done:
+		c.mu.Lock()
+		f.waiters--
+		c.mu.Unlock()
+		if f.err != nil {
+			return nil, f.err
+		}
+		return f.entry, nil
+	case <-ctx.Done():
+		c.abandon(f)
+		return nil, ctx.Err()
+	}
+}
+
+// abandon unregisters a waiter whose context died. The last waiter
+// out removes the flight from the index (so new requests start fresh
+// rather than joining a doomed run) and cancels the underlying work.
+func (c *cache) abandon(f *flight) {
+	c.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	if last && c.flights[f.key] == f {
+		delete(c.flights, f.key)
+	}
+	c.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+func (c *cache) runFlight(f *flight, ctx context.Context, opts netpart.RunOptions) {
+	res, err := c.run(ctx, f.key, opts, f.publish)
+	c.mu.Lock()
+	if err == nil {
+		f.entry = &entry{res: res, encs: map[string]*encoding{}}
+		c.entries[f.key] = f.entry
+	}
+	f.err = err
+	if c.flights[f.key] == f {
+		delete(c.flights, f.key)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	f.cancel()
+}

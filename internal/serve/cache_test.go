@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netpart"
+)
+
+// TestCacheCoalescesConcurrentMisses: N concurrent do() calls for one
+// cold key run the underlying function exactly once and all observe
+// the same entry; later calls are pure cache hits.
+func TestCacheCoalescesConcurrentMisses(t *testing.T) {
+	key := Key{ID: "table5"}
+	var calls atomic.Int32
+	release := make(chan struct{})
+	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ func(netpart.Progress)) (*netpart.Result, error) {
+		calls.Add(1)
+		<-release
+		return fakeResult(k), nil
+	}, 0)
+
+	const n = 32
+	entries := make([]*entry, n)
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	wg.Add(n)
+	started.Add(n)
+	for i := range n {
+		go func() {
+			defer wg.Done()
+			started.Done()
+			e, err := c.do(context.Background(), key, netpart.RunOptions{}, nil)
+			if err != nil {
+				t.Error(err)
+			}
+			entries[i] = e
+		}()
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("run called %d times, want 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if entries[i] != entries[0] {
+			t.Fatal("waiters observed different entries")
+		}
+	}
+	if e, err := c.do(context.Background(), key, netpart.RunOptions{}, nil); err != nil || e != entries[0] || calls.Load() != 1 {
+		t.Fatal("warm hit reran the experiment")
+	}
+}
+
+// TestCacheErrorsAreNotCached: a failed flight evaporates; the next
+// request retries.
+func TestCacheErrorsAreNotCached(t *testing.T) {
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ func(netpart.Progress)) (*netpart.Result, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return fakeResult(k), nil
+	}, 0)
+	key := Key{ID: "table1"}
+	if _, err := c.do(context.Background(), key, netpart.RunOptions{}, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := c.do(context.Background(), key, netpart.RunOptions{}, nil); err != nil {
+		t.Fatalf("retry err = %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("run called %d times, want 2", calls.Load())
+	}
+}
+
+// TestCacheLastWaiterCancelsRun: with two waiters, one abandoning
+// leaves the run alive; when the last abandons, the flight context is
+// canceled promptly and a later request starts a fresh flight.
+func TestCacheLastWaiterCancelsRun(t *testing.T) {
+	key := Key{ID: "table6"}
+	g := newGate()
+	c := newCache(g.run, 0)
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	ctxB, cancelB := context.WithCancel(context.Background())
+	defer cancelB()
+	errs := make(chan error, 2)
+	go func() { _, err := c.do(ctxA, key, netpart.RunOptions{}, nil); errs <- err }()
+	info := g.next(t)
+	go func() { _, err := c.do(ctxB, key, netpart.RunOptions{}, nil); errs <- err }()
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		f := c.flights[key]
+		return f != nil && f.waiters == 2
+	})
+
+	// First waiter leaves: the flight must survive for the second.
+	cancelA()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter got %v", err)
+	}
+	select {
+	case <-info.ctx.Done():
+		t.Fatal("flight canceled while a waiter remained")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Last waiter leaves: the flight dies promptly.
+	cancelB()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("last waiter got %v", err)
+	}
+	select {
+	case <-info.ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("flight context not canceled after last waiter left")
+	}
+
+	// The key is clean: a new request starts a new flight.
+	done := make(chan struct{})
+	go func() {
+		if _, err := c.do(context.Background(), key, netpart.RunOptions{}, nil); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	close(g.next(t).proceed)
+	<-done
+	if g.calls.Load() != 2 {
+		t.Fatalf("run called %d times, want 2", g.calls.Load())
+	}
+}
+
+// TestCacheRunTimeout: a flight exceeding the cache's run timeout
+// fails with DeadlineExceeded and is not cached.
+func TestCacheRunTimeout(t *testing.T) {
+	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ func(netpart.Progress)) (*netpart.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, 10*time.Millisecond)
+	if _, err := c.do(context.Background(), Key{ID: "figure3"}, netpart.RunOptions{}, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if _, ok := c.cached(Key{ID: "figure3"}); ok {
+		t.Fatal("timed-out flight was cached")
+	}
+}
+
+// TestEntryEncodingsStable: encodings render once, re-serve the same
+// bytes, and carry quoted sha-based strong ETags distinct per
+// content type.
+func TestEntryEncodingsStable(t *testing.T) {
+	e := &entry{res: fakeResult(Key{ID: "table2"}), encs: map[string]*encoding{}}
+	j1, err := e.encoding(ctJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := e.encoding(ctJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Error("JSON encoding rendered twice")
+	}
+	csv, err := e.encoding(ctCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := e.encoding(ctMarkdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, enc := range []*encoding{j1, csv, md} {
+		if len(enc.etag) < 4 || enc.etag[0] != '"' || enc.etag[len(enc.etag)-1] != '"' {
+			t.Errorf("%s: malformed etag %q", enc.contentType, enc.etag)
+		}
+		if enc.etag != etagFor(enc.body) {
+			t.Errorf("%s: etag is not the content hash", enc.contentType)
+		}
+	}
+	if j1.etag == csv.etag || csv.etag == md.etag {
+		t.Error("distinct encodings share an etag")
+	}
+	if bytes.Equal(j1.body, csv.body) {
+		t.Error("JSON and CSV bodies identical")
+	}
+	if _, err := e.encoding("application/xml"); err == nil {
+		t.Error("unknown content type should error")
+	}
+}

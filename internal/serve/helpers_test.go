@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netpart"
+)
+
+// realServer boots an httptest server over the real registry.
+func realServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// runInfo is one invocation of the gated fake run function. The test
+// controls when it finishes: close proceed for success, cancel the
+// context for failure.
+type runInfo struct {
+	ctx     context.Context
+	key     Key
+	opts    netpart.RunOptions
+	publish func(netpart.Progress)
+	proceed chan struct{}
+}
+
+// gate is a controllable runFunc: every invocation parks on its
+// proceed channel and is announced on started.
+type gate struct {
+	calls   atomic.Int32
+	started chan *runInfo
+}
+
+func newGate() *gate {
+	return &gate{started: make(chan *runInfo, 64)}
+}
+
+func (g *gate) run(ctx context.Context, key Key, opts netpart.RunOptions, publish func(netpart.Progress)) (*netpart.Result, error) {
+	g.calls.Add(1)
+	info := &runInfo{ctx: ctx, key: key, opts: opts, publish: publish, proceed: make(chan struct{})}
+	g.started <- info
+	select {
+	case <-info.proceed:
+		return fakeResult(key), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// next returns the next started invocation or fails the test.
+func (g *gate) next(t *testing.T) *runInfo {
+	t.Helper()
+	select {
+	case info := <-g.started:
+		return info
+	case <-time.After(5 * time.Second):
+		t.Fatal("no run started")
+		return nil
+	}
+}
+
+// gatedServer boots an httptest server whose runs are gate-controlled
+// instead of real experiments.
+func gatedServer(t *testing.T, opts Options) (*Server, *httptest.Server, *gate) {
+	t.Helper()
+	g := newGate()
+	s := newServer(opts, g.run)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, g
+}
+
+// fakeResult fabricates a deterministic Result for a key.
+func fakeResult(key Key) *netpart.Result {
+	exp, _ := netpart.Lookup(key.ID)
+	tab := netpart.Table{Title: "fake " + key.ID, Headers: []string{"key", "full_rounds"}}
+	tab.AddRow(key.ID, key.FullRounds)
+	return &netpart.Result{Experiment: exp, Table: tab}
+}
+
+// get fetches a URL with optional headers and returns status, headers
+// and body.
+func get(t *testing.T, url string, hdr map[string]string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// post submits a JSON body and returns status, headers and body.
+func post(t *testing.T, url string, doc any) (int, http.Header, []byte) {
+	t.Helper()
+	body, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, ctJSON, strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, out
+}
+
+// submit POSTs a run and returns its job document.
+func submit(t *testing.T, ts *httptest.Server, doc any) jobDoc {
+	t.Helper()
+	code, hdr, body := post(t, ts.URL+"/v1/runs", doc)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, body)
+	}
+	var job jobDoc
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatalf("submit: %v in %s", err, body)
+	}
+	if want := "/v1/runs/" + job.ID; hdr.Get("Location") != want {
+		t.Fatalf("Location = %q, want %q", hdr.Get("Location"), want)
+	}
+	return job
+}
+
+// await blocks until the job reaches a terminal status and returns it.
+func await(t *testing.T, s *Server, id string) Status {
+	t.Helper()
+	job, ok := s.jobs.lookup(id)
+	if !ok {
+		t.Fatalf("no job %s", id)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not finish", id)
+	}
+	status, _, _, _ := job.Snapshot()
+	return status
+}
+
+// sseEvent is one parsed Server-Sent-Events frame.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// sseStream incrementally parses Server-Sent-Events frames.
+type sseStream struct {
+	sc *bufio.Scanner
+}
+
+func newSSEStream(r io.Reader) *sseStream {
+	return &sseStream{sc: bufio.NewScanner(r)}
+}
+
+// next reads one frame (skipping heartbeat comments); ok is false at
+// end of stream.
+func (s *sseStream) next(t *testing.T) (ev sseEvent, ok bool) {
+	t.Helper()
+	var cur sseEvent
+	for s.sc.Scan() {
+		line := s.sc.Text()
+		switch {
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				return cur, true
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	return sseEvent{}, false
+}
+
+// readSSE consumes frames until the terminal "done" event, a frame
+// limit, or EOF.
+func readSSE(t *testing.T, r io.Reader, max int) []sseEvent {
+	t.Helper()
+	st := newSSEStream(r)
+	var events []sseEvent
+	for len(events) < max {
+		ev, ok := st.next(t)
+		if !ok {
+			break
+		}
+		events = append(events, ev)
+		if ev.name == "done" {
+			break
+		}
+	}
+	return events
+}
+
+// openSSE connects to a job's event stream; the returned cancel
+// closes the stream.
+func openSSE(t *testing.T, ts *httptest.Server, id string) (io.ReadCloser, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/v1/runs/%s/events", ts.URL, id), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		cancel()
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		cancel()
+		t.Fatalf("events: content type %q", ct)
+	}
+	t.Cleanup(func() { cancel(); resp.Body.Close() })
+	return resp.Body, cancel
+}

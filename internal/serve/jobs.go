@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"netpart"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusRunning: the job is attached to a flight (possibly
+	// waiting on a per-cost-class admission slot, possibly coalesced
+	// onto another job's run).
+	StatusRunning Status = "running"
+	// StatusDone: the result is available.
+	StatusDone Status = "done"
+	// StatusFailed: the run returned an error.
+	StatusFailed Status = "failed"
+	// StatusCanceled: the job was canceled (DELETE, run timeout, or
+	// server shutdown) before it produced a result.
+	StatusCanceled Status = "canceled"
+)
+
+// errShutdown rejects submissions during drain.
+var errShutdown = errors.New("serve: shutting down")
+
+// Job is one submitted run: a handle with its own identity, progress
+// feed and cancellation, even when its computation is coalesced with
+// other jobs onto a single flight.
+type Job struct {
+	ID         string
+	Experiment netpart.Experiment
+	Opts       netpart.RunOptions // as submitted
+	Key        Key                // normalized cache identity
+	Created    time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{} // closed on terminal status
+
+	mu       sync.Mutex
+	status   Status
+	err      error
+	entry    *entry
+	latest   netpart.Progress
+	reported bool // latest is meaningful
+	subs     map[int]chan netpart.Progress
+	nsub     int
+}
+
+// Snapshot returns the job's current status, last progress report
+// (ok=false before the first), and terminal error if any.
+func (j *Job) Snapshot() (status Status, p netpart.Progress, ok bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.latest, j.reported, j.err
+}
+
+// Entry returns the finished result entry, or nil before StatusDone.
+func (j *Job) Entry() *entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.entry
+}
+
+// Cancel cancels the job. The underlying run stops only when every
+// job coalesced onto its flight has been canceled or abandoned.
+func (j *Job) Cancel() { j.cancel() }
+
+// Done is closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// publish records the latest progress and fans it out to subscribers
+// without blocking: a slow SSE consumer drops intermediate reports
+// (progress is monotone, so the latest one subsumes them).
+func (j *Job) publish(p netpart.Progress) {
+	j.mu.Lock()
+	j.latest = p
+	j.reported = true
+	chans := make([]chan netpart.Progress, 0, len(j.subs))
+	for _, ch := range j.subs {
+		chans = append(chans, ch)
+	}
+	j.mu.Unlock()
+	for _, ch := range chans {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+}
+
+// subscribe registers a progress channel; the returned function
+// unsubscribes it. The channel is buffered and lossy (see publish).
+func (j *Job) subscribe() (<-chan netpart.Progress, func()) {
+	ch := make(chan netpart.Progress, 16)
+	j.mu.Lock()
+	id := j.nsub
+	j.nsub++
+	j.subs[id] = ch
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, id)
+		j.mu.Unlock()
+	}
+}
+
+// finish moves the job to its terminal status. Context errors — the
+// job's own cancellation (DELETE, shutdown) or the flight's run
+// timeout — report as canceled; anything else the experiment
+// returned is a failure.
+func (j *Job) finish(e *entry, err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.entry = e
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusCanceled
+		j.err = err
+	default:
+		j.status = StatusFailed
+		j.err = err
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// maxRetainedJobs bounds the job index. Unlike the result cache,
+// whose key space is bounded by construction, job identities are
+// unbounded under sustained traffic; past this count the oldest
+// *terminal* jobs are evicted (a running job is never evicted).
+const maxRetainedJobs = 1024
+
+// jobManager owns the submitted jobs: identity, lifecycle, and
+// graceful drain. The actual computation (admission, coalescing,
+// caching) is delegated to the cache.
+type jobManager struct {
+	cache   *cache
+	baseCtx context.Context
+	stop    context.CancelFunc // cancels every job (shutdown deadline)
+	wg      sync.WaitGroup
+	maxJobs int
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // job IDs in submission order, for eviction
+	seq    int
+	closed bool
+}
+
+func newJobManager(c *cache) *jobManager {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &jobManager{cache: c, baseCtx: ctx, stop: cancel, maxJobs: maxRetainedJobs, jobs: map[string]*Job{}}
+}
+
+// pruneLocked evicts the oldest terminal jobs once the index exceeds
+// maxJobs. Callers hold m.mu.
+func (m *jobManager) pruneLocked() {
+	if len(m.jobs) <= m.maxJobs {
+		return
+	}
+	kept := m.order[:0]
+	for i, id := range m.order {
+		if len(m.jobs) <= m.maxJobs {
+			kept = append(kept, m.order[i:]...)
+			break
+		}
+		j := m.jobs[id]
+		select {
+		case <-j.done:
+			delete(m.jobs, id)
+		default:
+			kept = append(kept, id)
+		}
+	}
+	m.order = kept
+}
+
+// submit creates a job and starts it asynchronously.
+func (m *jobManager) submit(exp netpart.Experiment, opts netpart.RunOptions) (*Job, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errShutdown
+	}
+	m.seq++
+	id := fmt.Sprintf("run-%06d", m.seq)
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	job := &Job{
+		ID:         id,
+		Experiment: exp,
+		Opts:       opts,
+		Key:        keyFor(exp, opts),
+		Created:    time.Now(),
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		status:     StatusRunning,
+		subs:       map[int]chan netpart.Progress{},
+	}
+	m.jobs[id] = job
+	m.order = append(m.order, id)
+	m.pruneLocked()
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		e, err := m.cache.do(ctx, job.Key, opts, job.publish)
+		job.finish(e, err)
+	}()
+	return job, nil
+}
+
+// lookup returns the job by ID.
+func (m *jobManager) lookup(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// drain stops accepting submissions and waits for in-flight jobs.
+// When ctx expires first, every remaining job is canceled and drain
+// waits for them to unwind.
+func (m *jobManager) drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		m.stop()
+		<-finished
+		return ctx.Err()
+	}
+}

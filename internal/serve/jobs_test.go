@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"netpart"
+)
+
+// TestDeleteCancelsJob: DELETE moves a sole in-flight job to
+// canceled and kills the underlying run promptly.
+func TestDeleteCancelsJob(t *testing.T) {
+	s, ts, g := gatedServer(t, Options{})
+	job := submit(t, ts, map[string]any{"experiment": "figure3"})
+	info := g.next(t)
+
+	req, err := http.NewRequest("DELETE", ts.URL+"/v1/runs/"+job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+
+	select {
+	case <-info.ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("run not canceled after DELETE")
+	}
+	if got := await(t, s, job.ID); got != StatusCanceled {
+		t.Fatalf("status %q, want canceled", got)
+	}
+	// The job document reports it over HTTP.
+	code, _, body := get(t, ts.URL+"/v1/runs/"+job.ID, nil)
+	var doc jobDoc
+	if code != http.StatusOK || json.Unmarshal(body, &doc) != nil || doc.Status != StatusCanceled {
+		t.Fatalf("job doc after cancel: %d %s", code, body)
+	}
+}
+
+// TestCancelSparesCoalescedJob: two jobs share one flight; canceling
+// one leaves the run alive and the other completes.
+func TestCancelSparesCoalescedJob(t *testing.T) {
+	s, ts, g := gatedServer(t, Options{})
+	jobA := submit(t, ts, map[string]any{"experiment": "figure4"})
+	info := g.next(t)
+	jobB := submit(t, ts, map[string]any{"experiment": "figure4"})
+
+	// B must be attached to A's flight before we cancel A, or the
+	// flight could die with its only waiter. Attachment is what makes
+	// calls==1; wait for B to register.
+	waitFor(t, func() bool {
+		s.cache.mu.Lock()
+		defer s.cache.mu.Unlock()
+		f := s.cache.flights[Key{ID: "figure4"}]
+		return f != nil && f.waiters == 2
+	})
+
+	jobAHandle, _ := s.jobs.lookup(jobA.ID)
+	jobAHandle.Cancel()
+	if got := await(t, s, jobA.ID); got != StatusCanceled {
+		t.Fatalf("canceled job status %q", got)
+	}
+	select {
+	case <-info.ctx.Done():
+		t.Fatal("flight canceled while another job depended on it")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(info.proceed)
+	if got := await(t, s, jobB.ID); got != StatusDone {
+		t.Fatalf("surviving job status %q", got)
+	}
+	if g.calls.Load() != 1 {
+		t.Fatalf("run called %d times, want 1", g.calls.Load())
+	}
+}
+
+// TestShutdownDrainsAndRejects: Shutdown waits for in-flight jobs,
+// cancels stragglers at the deadline, and new submissions get 503.
+func TestShutdownDrains(t *testing.T) {
+	s, ts, g := gatedServer(t, Options{})
+
+	// A job that finishes within the grace: drain returns nil.
+	jobA := submit(t, ts, map[string]any{"experiment": "table1"})
+	infoA := g.next(t)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(infoA.proceed)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := await(t, s, jobA.ID); got != StatusDone {
+		t.Fatalf("drained job status %q", got)
+	}
+	if code, _, _ := post(t, ts.URL+"/v1/runs", map[string]any{"experiment": "table1"}); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown: status %d, want 503", code)
+	}
+}
+
+// TestShutdownDeadlineCancelsStragglers: a job that outlives the
+// grace is canceled and drain reports the deadline.
+func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
+	s, ts, g := gatedServer(t, Options{})
+	job := submit(t, ts, map[string]any{"experiment": "table2"})
+	info := g.next(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain err = %v, want deadline exceeded", err)
+	}
+	select {
+	case <-info.ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("straggler not canceled at drain deadline")
+	}
+	if got := await(t, s, job.ID); got != StatusCanceled {
+		t.Fatalf("straggler status %q", got)
+	}
+}
+
+// TestAdmissionClassesAreIndependent: with the heavy class saturated,
+// cheap runs are admitted immediately — the no-starvation property.
+func TestAdmissionClassesAreIndependent(t *testing.T) {
+	s, ts := realServer(t, Options{Admission: map[netpart.Cost]int{
+		netpart.CostHeavy: 1,
+		netpart.CostCheap: 2,
+	}})
+
+	// Saturate the heavy class.
+	releaseHeavy, err := s.acquire(context.Background(), netpart.CostHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer releaseHeavy()
+
+	// Another heavy acquisition queues (times out).
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.acquire(ctx, netpart.CostHeavy); err != context.DeadlineExceeded {
+		t.Fatalf("second heavy acquire: %v, want deadline exceeded", err)
+	}
+
+	// A real cheap experiment still runs end-to-end.
+	code, _, body := get(t, ts.URL+"/v1/experiments/table3/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("cheap run behind saturated heavy class: status %d (%s)", code, body)
+	}
+}
+
+// TestRunTimeoutReportsCanceled: a job whose flight hits the server's
+// run timeout ends as canceled (retryable server policy), not failed.
+func TestRunTimeoutReportsCanceled(t *testing.T) {
+	s, ts, g := gatedServer(t, Options{RunTimeout: 30 * time.Millisecond})
+	job := submit(t, ts, map[string]any{"experiment": "figure3"})
+	g.next(t) // never released: the flight times out
+	if got := await(t, s, job.ID); got != StatusCanceled {
+		t.Fatalf("timed-out job status %q, want canceled", got)
+	}
+}
+
+// TestJobEviction: the job index is bounded — past the cap the oldest
+// terminal jobs are evicted, running jobs never.
+func TestJobEviction(t *testing.T) {
+	s, ts, g := gatedServer(t, Options{})
+	s.jobs.maxJobs = 2
+
+	// One long-running job, then terminal jobs past the cap.
+	running := submit(t, ts, map[string]any{"experiment": "figure3"})
+	g.next(t) // keep it in flight
+	var terminal []string
+	for _, id := range []string{"table1", "table2", "table3"} {
+		job := submit(t, ts, map[string]any{"experiment": id})
+		close(g.next(t).proceed)
+		await(t, s, job.ID)
+		terminal = append(terminal, job.ID)
+	}
+
+	// Submitting one more prunes: the oldest terminal jobs go, the
+	// running job and the newest stay.
+	last := submit(t, ts, map[string]any{"experiment": "table4"})
+	close(g.next(t).proceed)
+	await(t, s, last.ID)
+	if _, ok := s.jobs.lookup(running.ID); !ok {
+		t.Error("running job was evicted")
+	}
+	if _, ok := s.jobs.lookup(terminal[0]); ok {
+		t.Error("oldest terminal job survived past the cap")
+	}
+	if _, ok := s.jobs.lookup(last.ID); !ok {
+		t.Error("newest job missing")
+	}
+	s.jobs.mu.Lock()
+	n := len(s.jobs.jobs)
+	s.jobs.mu.Unlock()
+	// The running job is unevictable, so the index may sit one over
+	// the cap — but it must not grow with terminal submissions.
+	if n > 3 {
+		t.Errorf("job index holds %d jobs, want <= 3", n)
+	}
+}
+
+// waitFor polls cond until true or fails the test.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,552 @@
+// Package serve is the HTTP serving subsystem over the netpart
+// Registry/Runner API: a REST surface for the experiment registry, an
+// asynchronous job manager with per-cost-class admission control, a
+// coalescing result cache, and Server-Sent-Events progress streams.
+//
+// The contention-management design mirrors the paper's theme — the
+// avoidable contention is the scheduler's to avoid:
+//
+//   - Admission is per cost class: each class (cheap / moderate /
+//     heavy) has its own concurrency bound, so registry lookups and
+//     closed-form tables never queue behind a multi-second flow-level
+//     pairing simulation.
+//   - Identical concurrent requests coalesce: the cache keys on
+//     (experiment ID, normalized options) — normalization strips
+//     options that cannot change result bytes — and singleflights
+//     concurrent misses onto one Runner.Run.
+//   - Client disconnects propagate: a synchronous request that goes
+//     away detaches from its flight, and the run itself is canceled
+//     as soon as its last waiter is gone.
+//
+// Endpoints (all under /v1, JSON unless negotiated otherwise):
+//
+//	GET    /v1/experiments                 registry, ?kind= and ?cost= filters
+//	GET    /v1/experiments/{id}/result     run synchronously (cache + coalesce)
+//	POST   /v1/runs                        submit an asynchronous run
+//	GET    /v1/runs/{id}                   status; when done, the result
+//	DELETE /v1/runs/{id}                   cancel a run
+//	GET    /v1/runs/{id}/events            SSE progress stream
+//
+// Result endpoints negotiate application/json (default), text/csv and
+// text/markdown via Accept or ?format=, and carry strong ETags: the
+// encoders are byte-deterministic, so the tag is a true content
+// identity and If-None-Match revalidation is free.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"netpart"
+)
+
+// Negotiated content types.
+const (
+	ctJSON     = "application/json"
+	ctCSV      = "text/csv"
+	ctMarkdown = "text/markdown"
+)
+
+// Options configures a Server. The zero value serves with defaults.
+type Options struct {
+	// Workers is the worker-pool bound used for runs that do not
+	// request one. Zero means the runnable-CPU count.
+	Workers int
+
+	// RunTimeout caps one underlying experiment run (a flight, not a
+	// request: late joiners inherit the leader's deadline). Zero
+	// means DefaultRunTimeout; negative means none.
+	RunTimeout time.Duration
+
+	// Admission bounds concurrently executing runs per cost class.
+	// Classes absent from the map get DefaultAdmission's bound.
+	// Separate per-class bounds are the no-starvation guarantee:
+	// cheap runs never wait on heavy slots.
+	Admission map[netpart.Cost]int
+}
+
+// DefaultRunTimeout caps a single experiment run unless overridden.
+const DefaultRunTimeout = 10 * time.Minute
+
+// DefaultAdmission is the per-cost-class concurrency default: one
+// flow-level simulation at a time, a few moderate geometry sweeps,
+// and effectively unconstrained cheap closed forms.
+var DefaultAdmission = map[netpart.Cost]int{
+	netpart.CostCheap:    16,
+	netpart.CostModerate: 4,
+	netpart.CostHeavy:    1,
+}
+
+// Server is the HTTP serving subsystem. Construct with New, mount
+// via Handler, and stop with Shutdown.
+type Server struct {
+	opts  Options
+	sems  map[netpart.Cost]chan struct{}
+	cache *cache
+	jobs  *jobManager
+	mux   *http.ServeMux
+}
+
+// New returns a Server over the built-in experiment registry.
+func New(opts Options) *Server {
+	return newServer(opts, nil)
+}
+
+// newServer is New plus a run-function override, the seam the tests
+// use to substitute controllable runs for real experiments. A nil
+// override serves the real registry.
+func newServer(opts Options, run runFunc) *Server {
+	if opts.RunTimeout == 0 {
+		opts.RunTimeout = DefaultRunTimeout
+	}
+	s := &Server{opts: opts, sems: map[netpart.Cost]chan struct{}{}}
+	for _, cost := range []netpart.Cost{netpart.CostCheap, netpart.CostModerate, netpart.CostHeavy} {
+		n, ok := opts.Admission[cost]
+		if !ok {
+			n = DefaultAdmission[cost]
+		}
+		if n < 1 {
+			n = 1
+		}
+		s.sems[cost] = make(chan struct{}, n)
+	}
+	if run == nil {
+		run = s.runExperiment
+	}
+	timeout := opts.RunTimeout
+	if timeout < 0 {
+		timeout = 0
+	}
+	s.cache = newCache(run, timeout)
+	s.jobs = newJobManager(s.cache)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleSyncResult)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	return s
+}
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the job manager: no new submissions are accepted
+// (503), in-flight runs get until ctx expires to finish, and
+// stragglers are canceled. Callers should stop the http.Server first
+// so no new requests race the drain.
+func (s *Server) Shutdown(ctx context.Context) error { return s.jobs.drain(ctx) }
+
+// acquire takes an admission slot for the given cost class, honoring
+// cancellation while queued.
+func (s *Server) acquire(ctx context.Context, cost netpart.Cost) (release func(), err error) {
+	sem := s.sems[cost]
+	if sem == nil { // unknown class: fall back to the heaviest bound
+		sem = s.sems[netpart.CostHeavy]
+	}
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// runExperiment executes one flight: admission slot for the
+// experiment's cost class, then a fresh Runner with the flight's
+// options (FullRounds from the normalized key, workers from the
+// leading request or the server default).
+func (s *Server) runExperiment(ctx context.Context, key Key, opts netpart.RunOptions, publish func(netpart.Progress)) (*netpart.Result, error) {
+	exp, ok := netpart.Lookup(key.ID)
+	if !ok {
+		return nil, fmt.Errorf("serve: no experiment %q", key.ID)
+	}
+	release, err := s.acquire(ctx, exp.Cost)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	// Workers from the leading request (or the server default);
+	// FullRounds from the normalized key, so the cached Result's
+	// metadata matches its cache identity.
+	run := netpart.RunOptions{Workers: opts.Workers, FullRounds: key.FullRounds}
+	if run.Workers <= 0 {
+		run.Workers = s.opts.Workers
+	}
+	runner := netpart.NewRunner(append(run.Options(), netpart.WithProgress(publish))...)
+	return runner.Run(ctx, key.ID)
+}
+
+// --- wire documents ---
+
+// experimentDoc is one registry descriptor on the wire.
+type experimentDoc struct {
+	ID    string       `json:"id"`
+	Title string       `json:"title"`
+	Kind  netpart.Kind `json:"kind"`
+	Cost  netpart.Cost `json:"cost"`
+}
+
+type experimentsDoc struct {
+	Experiments []experimentDoc `json:"experiments"`
+}
+
+// progressDoc is one progress report on the wire (SSE data and job
+// status documents).
+type progressDoc struct {
+	Experiment string `json:"experiment"`
+	Run        string `json:"run"`
+	Done       int    `json:"done"`
+	Total      int    `json:"total"`
+}
+
+func progressFor(p netpart.Progress) *progressDoc {
+	return &progressDoc{Experiment: p.Experiment, Run: p.Run, Done: p.Done, Total: p.Total}
+}
+
+// jobDoc is a job status document.
+type jobDoc struct {
+	ID         string             `json:"id"`
+	Experiment string             `json:"experiment"`
+	Status     Status             `json:"status"`
+	Options    netpart.RunOptions `json:"options"`
+	Key        string             `json:"key"`
+	Progress   *progressDoc       `json:"progress,omitempty"`
+	Error      string             `json:"error,omitempty"`
+	Links      map[string]string  `json:"links"`
+}
+
+func jobDocFor(j *Job) jobDoc {
+	status, p, reported, err := j.Snapshot()
+	doc := jobDoc{
+		ID:         j.ID,
+		Experiment: j.Experiment.ID,
+		Status:     status,
+		Options:    j.Opts,
+		Key:        j.Key.String(),
+		Links: map[string]string{
+			"self":   "/v1/runs/" + j.ID,
+			"events": "/v1/runs/" + j.ID + "/events",
+		},
+	}
+	if reported {
+		doc.Progress = progressFor(p)
+	}
+	if err != nil {
+		doc.Error = err.Error()
+	}
+	return doc
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", ctJSON)
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// negotiate picks the response encoding: an explicit ?format= wins,
+// then the first supported media type in the Accept header's listed
+// order; absent both (or */*), JSON.
+func negotiate(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "json":
+		return ctJSON, nil
+	case "csv":
+		return ctCSV, nil
+	case "markdown", "md":
+		return ctMarkdown, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown format %q (want json, csv or markdown)", f)
+	}
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return ctJSON, nil
+	}
+	// RFC 9110 semantics on our three types: each supported type takes
+	// the q of its most specific matching Accept member (exact beats
+	// subtype wildcard beats */*; first listed wins within a tier), a
+	// type whose governing q is 0 is forbidden, and among the
+	// remainder the highest q wins — ties broken by listed order, then
+	// server preference (JSON, then Markdown, then CSV).
+	type cand struct {
+		q    float64
+		spec int // 2 exact, 1 subtype wildcard, 0 */*
+		ord  int // index of the governing Accept member
+	}
+	cands := map[string]*cand{}
+	consider := func(ct string, q float64, spec, ord int) {
+		if c, ok := cands[ct]; !ok {
+			cands[ct] = &cand{q, spec, ord}
+		} else if spec > c.spec {
+			*c = cand{q, spec, ord}
+		}
+	}
+	for ord, part := range strings.Split(accept, ",") {
+		fields := strings.Split(part, ";")
+		q := 1.0
+		for _, p := range fields[1:] {
+			if k, v, ok := strings.Cut(strings.TrimSpace(p), "="); ok && strings.EqualFold(strings.TrimSpace(k), "q") {
+				if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+					q = f
+				}
+			}
+		}
+		// Media types are case-insensitive; empty list members
+		// (trailing commas) are ignored.
+		switch strings.ToLower(strings.TrimSpace(fields[0])) {
+		case ctJSON:
+			consider(ctJSON, q, 2, ord)
+		case ctCSV:
+			consider(ctCSV, q, 2, ord)
+		case ctMarkdown:
+			consider(ctMarkdown, q, 2, ord)
+		case "application/*":
+			consider(ctJSON, q, 1, ord)
+		case "text/*":
+			consider(ctMarkdown, q, 1, ord)
+			consider(ctCSV, q, 1, ord)
+		case "*/*":
+			consider(ctJSON, q, 0, ord)
+			consider(ctMarkdown, q, 0, ord)
+			consider(ctCSV, q, 0, ord)
+		}
+	}
+	best := ""
+	for _, ct := range []string{ctJSON, ctMarkdown, ctCSV} { // server preference order
+		c, ok := cands[ct]
+		if !ok || c.q <= 0 {
+			continue
+		}
+		if b := cands[best]; best == "" || c.q > b.q || (c.q == b.q && c.ord < b.ord) {
+			best = ct
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("not acceptable: %q (supported: %s, %s, %s)", accept, ctJSON, ctCSV, ctMarkdown)
+	}
+	return best, nil
+}
+
+// parseRunOptions reads workers/full_rounds from query parameters.
+func parseRunOptions(r *http.Request) (netpart.RunOptions, error) {
+	var opts netpart.RunOptions
+	q := r.URL.Query()
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad workers %q", v)
+		}
+		opts.Workers = n
+	}
+	if v := q.Get("full_rounds"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad full_rounds %q", v)
+		}
+		opts.FullRounds = b
+	}
+	return opts, nil
+}
+
+// writeEntry writes a finished result in the negotiated encoding with
+// its strong ETag, answering If-None-Match revalidations with 304.
+func writeEntry(w http.ResponseWriter, r *http.Request, e *entry) {
+	ct, err := negotiate(r)
+	if err != nil {
+		writeError(w, http.StatusNotAcceptable, "%v", err)
+		return
+	}
+	enc, err := e.encoding(ct)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	h := w.Header()
+	h.Set("ETag", enc.etag)
+	h.Set("Cache-Control", "no-cache") // revalidate with If-None-Match
+	if matchETag(r.Header.Get("If-None-Match"), enc.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", enc.contentType+"; charset=utf-8")
+	h.Set("Content-Length", strconv.Itoa(len(enc.body)))
+	w.Write(enc.body) //nolint:errcheck
+}
+
+// matchETag reports whether an If-None-Match header matches the
+// entity tag. Per RFC 9110 §13.1.2 the comparison is weak: a W/
+// prefix (added by proxies that transform the body) is stripped
+// before comparing, so revalidation keeps working behind them. Our
+// stored tags are always strong.
+func matchETag(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimPrefix(strings.TrimSpace(c), "W/")
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// --- handlers ---
+
+// handleExperiments serves the registry with optional kind/cost
+// filters (each repeatable; values within one parameter OR together,
+// parameters AND together).
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	kinds := map[netpart.Kind]bool{}
+	for _, v := range q["kind"] {
+		switch k := netpart.Kind(v); k {
+		case netpart.KindTable, netpart.KindFigure:
+			kinds[k] = true
+		default:
+			writeError(w, http.StatusBadRequest, "unknown kind %q (want table or figure)", v)
+			return
+		}
+	}
+	costs := map[netpart.Cost]bool{}
+	for _, v := range q["cost"] {
+		switch c := netpart.Cost(v); c {
+		case netpart.CostCheap, netpart.CostModerate, netpart.CostHeavy:
+			costs[c] = true
+		default:
+			writeError(w, http.StatusBadRequest, "unknown cost %q (want cheap, moderate or heavy)", v)
+			return
+		}
+	}
+	doc := experimentsDoc{Experiments: []experimentDoc{}}
+	for _, exp := range netpart.Registry() {
+		if len(kinds) > 0 && !kinds[exp.Kind] {
+			continue
+		}
+		if len(costs) > 0 && !costs[exp.Cost] {
+			continue
+		}
+		doc.Experiments = append(doc.Experiments, experimentDoc{
+			ID: exp.ID, Title: exp.Title, Kind: exp.Kind, Cost: exp.Cost,
+		})
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleSyncResult runs an experiment synchronously through the
+// cache: hot keys answer immediately from memory, cold keys start (or
+// join) a flight. The request context is the caller's leash — a
+// disconnect abandons the flight, and the run dies with its last
+// waiter.
+func (s *Server) handleSyncResult(w http.ResponseWriter, r *http.Request) {
+	exp, ok := netpart.Lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no experiment %q", r.PathValue("id"))
+		return
+	}
+	opts, err := parseRunOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.cache.do(r.Context(), keyFor(exp, opts), opts, nil)
+	switch {
+	case err == nil:
+		writeEntry(w, r, e)
+	case errors.Is(err, context.Canceled):
+		// Client is gone; any status we write is unread.
+		writeError(w, 499, "canceled")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "run exceeded the server's run timeout")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// submitDoc is the POST /v1/runs request body.
+type submitDoc struct {
+	Experiment string `json:"experiment"`
+	Workers    int    `json:"workers"`
+	FullRounds bool   `json:"full_rounds"`
+}
+
+// maxSubmitBody bounds the POST /v1/runs request body; every other
+// server resource is bounded (admission, run timeouts, lossy SSE
+// buffers, job index), so the decoder must be too.
+const maxSubmitBody = 1 << 20
+
+// handleSubmit accepts an asynchronous run: 202 with the job document
+// and a Location header. Identical concurrent submissions coalesce
+// onto one underlying run but keep distinct job identities.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
+	dec.DisallowUnknownFields()
+	var req submitDoc
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	exp, ok := netpart.Lookup(req.Experiment)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no experiment %q (known IDs: %v)", req.Experiment, netpart.IDs())
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "bad workers %d", req.Workers)
+		return
+	}
+	job, err := s.jobs.submit(exp, netpart.RunOptions{Workers: req.Workers, FullRounds: req.FullRounds})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, jobDocFor(job))
+}
+
+// handleRun serves a job: the status document while it is in flight
+// (or failed/canceled), the negotiated result once done. Repeated
+// fetches of a done job are byte-identical with matching strong
+// ETags.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+		return
+	}
+	if e := job.Entry(); e != nil {
+		w.Header().Set("X-Netpart-Run", job.ID)
+		writeEntry(w, r, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobDocFor(job))
+}
+
+// handleCancel cancels a job (idempotent). The underlying run stops
+// once no other job or request still wants its result.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, jobDocFor(job))
+}

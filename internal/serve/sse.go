@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// sseHeartbeat is the idle-comment interval keeping proxies from
+// reaping quiet streams (a heavy flight can be minutes between
+// progress units only when the worker pool is saturated; the comment
+// is cheap insurance either way).
+const sseHeartbeat = 15 * time.Second
+
+// sseWriter frames Server-Sent Events onto a flushed response.
+type sseWriter struct {
+	w http.ResponseWriter
+	c *http.ResponseController
+}
+
+func newSSEWriter(w http.ResponseWriter) *sseWriter {
+	return &sseWriter{w: w, c: http.NewResponseController(w)}
+}
+
+// event writes one "event:/data:" frame (data JSON-encoded on a
+// single line, per the SSE wire format) and flushes it.
+func (s *sseWriter) event(name string, data any) error {
+	body, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, body); err != nil {
+		return err
+	}
+	return s.c.Flush()
+}
+
+// comment writes a heartbeat comment frame.
+func (s *sseWriter) comment() error {
+	if _, err := fmt.Fprint(s.w, ": ping\n\n"); err != nil {
+		return err
+	}
+	return s.c.Flush()
+}
+
+// handleEvents streams a job's life as Server-Sent Events:
+//
+//	event: status    one initial job snapshot on connect
+//	event: progress  every progress report (lossy under backpressure:
+//	                 intermediate reports may be dropped, the stream
+//	                 stays monotone)
+//	event: done      terminal snapshot (status done/failed/canceled),
+//	                 then the stream closes
+//
+// Progress data carries the per-run token (netpart.Progress.Run), so
+// a consumer multiplexing several streams of the same experiment can
+// still tell the underlying runs apart. Disconnecting only detaches
+// the stream; it does not cancel the job (DELETE /v1/runs/{id} does).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell proxies not to buffer
+	w.WriteHeader(http.StatusOK)
+
+	out := newSSEWriter(w)
+	sub, unsubscribe := job.subscribe()
+	defer unsubscribe()
+
+	// Snapshot after subscribing, so nothing can land between the
+	// snapshot and the stream.
+	if err := out.event("status", jobDocFor(job)); err != nil {
+		return
+	}
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case p := <-sub:
+			if err := out.event("progress", progressFor(p)); err != nil {
+				return
+			}
+		case <-job.Done():
+			// Drain progress that raced the terminal status, then close.
+			for {
+				select {
+				case p := <-sub:
+					if out.event("progress", progressFor(p)) != nil {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			out.event("done", jobDocFor(job)) //nolint:errcheck // closing anyway
+			return
+		case <-heartbeat.C:
+			if err := out.comment(); err != nil {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // Machine-readable encodings. Both encoders are byte-deterministic:
@@ -55,6 +56,46 @@ func (t Table) CSV() ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// mdEscape makes a cell safe inside a Markdown table: pipes are
+// escaped and newlines collapse to spaces (a cell is one line).
+func mdEscape(s string) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	return strings.ReplaceAll(s, "|", `\|`)
+}
+
+// Markdown returns the table as a GitHub-flavored Markdown table: the
+// title as a bold paragraph (when set), the header row, the delimiter
+// row, and one row per data row. Like the JSON and CSV encoders it is
+// byte-deterministic, so strong ETags and golden files can hash the
+// output directly.
+func (t Table) Markdown() []byte {
+	var buf bytes.Buffer
+	if t.Title != "" {
+		buf.WriteString("**")
+		buf.WriteString(mdEscape(t.Title))
+		buf.WriteString("**\n\n")
+	}
+	writeRow := func(cells []string) {
+		buf.WriteByte('|')
+		for _, c := range cells {
+			buf.WriteByte(' ')
+			buf.WriteString(mdEscape(c))
+			buf.WriteString(" |")
+		}
+		buf.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	buf.WriteByte('|')
+	for range t.Headers {
+		buf.WriteString(" --- |")
+	}
+	buf.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return buf.Bytes()
 }
 
 // ChartData is the JSON-encodable form of a Chart: NaN points (missing

@@ -79,6 +79,33 @@ func sampleChart() Chart {
 	}
 }
 
+func TestTableMarkdown(t *testing.T) {
+	tab := Table{
+		Title:   "md | sample",
+		Headers: []string{"name", "value"},
+	}
+	tab.AddRow("pipe|cell", 1)
+	tab.AddRow("line\nbreak", 2.5)
+	md := tab.Markdown()
+	want := "**md \\| sample**\n\n" +
+		"| name | value |\n" +
+		"| --- | --- |\n" +
+		"| pipe\\|cell | 1 |\n" +
+		"| line break | 2.500 |\n"
+	if string(md) != want {
+		t.Errorf("Markdown = %q, want %q", md, want)
+	}
+	// Determinism.
+	if !bytes.Equal(md, tab.Markdown()) {
+		t.Error("Markdown encoding not deterministic")
+	}
+	// No title: straight to the header row.
+	tab.Title = ""
+	if !bytes.HasPrefix(tab.Markdown(), []byte("| name |")) {
+		t.Errorf("untitled table: %q", tab.Markdown())
+	}
+}
+
 func TestChartJSON(t *testing.T) {
 	js, err := sampleChart().JSON()
 	if err != nil {

@@ -1,15 +1,16 @@
 package netpart_test
 
 import (
+	"context"
 	"testing"
 
 	"netpart"
 )
 
-// TestFacadeCoherence exercises every facade entry point — including
-// the deprecated pre-Runner experiment wrappers, which must keep
-// working until removal — and checks the re-exports agree with each
-// other.
+// TestFacadeCoherence exercises every facade entry point and checks
+// the re-exports agree with each other. The experiment artifacts run
+// through the Runner API (the deprecated pre-Runner wrappers are
+// gone).
 func TestFacadeCoherence(t *testing.T) {
 	tor, err := netpart.NewTorus(6, 4, 2)
 	if err != nil {
@@ -47,25 +48,41 @@ func TestFacadeCoherence(t *testing.T) {
 	if netpart.Sequoia().Nodes() != 98304 || netpart.Juqueen54().Midplanes() != 54 || netpart.Juqueen48().Midplanes() != 48 {
 		t.Error("catalog")
 	}
-	if len(netpart.Table3().Rows) != 4 || len(netpart.Table4().Rows) != 3 || len(netpart.Table5().Rows) != 24 {
+	ctx := context.Background()
+	runner := netpart.NewRunner()
+	table := func(id string) netpart.Table {
+		t.Helper()
+		res, err := runner.Run(ctx, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		return res.Table
+	}
+	data := func(id string) any {
+		t.Helper()
+		res, err := runner.Run(ctx, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		return res.Data
+	}
+	if len(table("table3").Rows) != 4 || len(table("table4").Rows) != 3 || len(table("table5").Rows) != 24 {
 		t.Error("table generators")
 	}
-	if len(netpart.Figure2().X) != 19 || len(netpart.Figure7().Series) != 3 {
+	if len(data("figure2").(netpart.BWFigure).X) != 19 || len(data("figure7").(netpart.BWFigure).Series) != 3 {
 		t.Error("figure generators")
 	}
-	if f, err := netpart.Figure5(); err != nil || len(f.PointsA) != 4 {
-		t.Errorf("Figure5: %v", err)
+	if f := data("figure5").(netpart.MatmulFigure); len(f.PointsA) != 4 {
+		t.Errorf("figure5: %d points", len(f.PointsA))
 	}
-	if f, err := netpart.Figure6(); err != nil || len(f.PointsA) != 3 {
-		t.Errorf("Figure6: %v", err)
+	if f := data("figure6").(netpart.MatmulFigure); len(f.PointsA) != 3 {
+		t.Errorf("figure6: %d points", len(f.PointsA))
 	}
-	fig3, err := netpart.Figure3(false)
-	if err != nil || fig3.MaxSpeedup() < 1.9 {
-		t.Errorf("Figure3: %v, speedup %v", err, fig3.MaxSpeedup())
+	if f := data("figure3").(netpart.PairingFigure); f.MaxSpeedup() < 1.9 {
+		t.Errorf("figure3: speedup %v", f.MaxSpeedup())
 	}
-	fig4, err := netpart.Figure4(false)
-	if err != nil || fig4.MaxSpeedup() < 1.9 {
-		t.Errorf("Figure4: %v, speedup %v", err, fig4.MaxSpeedup())
+	if f := data("figure4").(netpart.PairingFigure); f.MaxSpeedup() < 1.9 {
+		t.Errorf("figure4: speedup %v", f.MaxSpeedup())
 	}
 
 	// Bisection wrapper agrees with the partition method.

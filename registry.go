@@ -56,6 +56,11 @@ type Experiment struct {
 	Kind  Kind
 	Cost  Cost
 
+	// usesFullRounds marks generators that consult Config.FullRounds
+	// (the flow-level pairing simulations); for every other experiment
+	// the option cannot change the result and Normalize clears it.
+	usesFullRounds bool
+
 	run func(ctx context.Context, cfg experiments.Config) (artifact, error)
 }
 
@@ -67,6 +72,13 @@ func tableExp(id, title string, cost Cost,
 			t, err := gen(cfg, ctx)
 			return artifact{table: t}, err
 		}}
+}
+
+// pairing marks an experiment whose generator consults
+// Config.FullRounds (see Experiment.usesFullRounds).
+func pairing(e Experiment) Experiment {
+	e.usesFullRounds = true
+	return e
 }
 
 // figureExp registers a figure-producing generator through an adapter
@@ -100,10 +112,10 @@ var registry = []Experiment{
 		experiments.Config.Figure1, BWFigure.Table, BWFigure.Chart),
 	figureExp("figure2", "JUQUEEN best/worst normalized bisection bandwidth", CostModerate,
 		experiments.Config.Figure2, BWFigure.Table, BWFigure.Chart),
-	figureExp("figure3", "Mira bisection pairing (flow-level simulation)", CostHeavy,
-		experiments.Config.Figure3, PairingFigure.Table, PairingFigure.Chart),
-	figureExp("figure4", "JUQUEEN bisection pairing (flow-level simulation)", CostHeavy,
-		experiments.Config.Figure4, PairingFigure.Table, PairingFigure.Chart),
+	pairing(figureExp("figure3", "Mira bisection pairing (flow-level simulation)", CostHeavy,
+		experiments.Config.Figure3, PairingFigure.Table, PairingFigure.Chart)),
+	pairing(figureExp("figure4", "JUQUEEN bisection pairing (flow-level simulation)", CostHeavy,
+		experiments.Config.Figure4, PairingFigure.Table, PairingFigure.Chart)),
 	figureExp("figure5", "Mira matrix multiplication communication time", CostModerate,
 		experiments.Config.Figure5, MatmulFigure.Table, MatmulFigure.Chart),
 	figureExp("figure6", "Mira strong scaling (n=9408)", CostCheap,

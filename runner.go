@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netpart/internal/experiments"
@@ -12,12 +13,20 @@ import (
 )
 
 // Progress is one progress report from a running experiment: Done of
-// Total units (table rows or figure points) have completed.
+// Total units (table rows or figure points) have completed. Run is a
+// process-unique token minted per Runner.Run call, so a consumer
+// multiplexing progress from concurrent runs of the same experiment ID
+// (an HTTP frontend streaming several in-flight runs) can tell the
+// streams apart.
 type Progress struct {
 	Experiment string // experiment ID
+	Run        string // per-run token, e.g. "figure3#17"
 	Done       int
 	Total      int
 }
+
+// runSeq mints process-unique run tokens.
+var runSeq atomic.Uint64
 
 // Option configures a Runner.
 type Option func(*Runner)
@@ -75,6 +84,7 @@ func NewRunner(opts ...Option) *Runner {
 // run to run (Elapsed, resolved Workers) are deliberately excluded
 // from the serialized encodings, which must be byte-deterministic.
 type RunMeta struct {
+	Run        string        // per-run token (matches Progress.Run)
 	Workers    int           // resolved worker-pool bound
 	FullRounds bool          // whether pairing rounds were simulated individually
 	Elapsed    time.Duration // wall-clock time of the run
@@ -104,17 +114,19 @@ func (r *Runner) Run(ctx context.Context, id string) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	token := fmt.Sprintf("%s#%d", exp.ID, runSeq.Add(1))
 	cfg := experiments.Config{
 		Workers:    r.workers,
 		FullRounds: r.fullRounds,
 		Machines:   r.machines,
+		RunToken:   token,
 	}
 	if r.progress != nil {
 		fn := r.progress
-		cfg.Progress = func(done, total int) {
+		cfg.Progress = func(tok string, done, total int) {
 			r.progressMu.Lock()
 			defer r.progressMu.Unlock()
-			fn(Progress{Experiment: exp.ID, Done: done, Total: total})
+			fn(Progress{Experiment: exp.ID, Run: tok, Done: done, Total: total})
 		}
 	}
 	start := time.Now()
@@ -128,6 +140,7 @@ func (r *Runner) Run(ctx context.Context, id string) (*Result, error) {
 		Chart:      art.chart,
 		Data:       art.data,
 		Meta: RunMeta{
+			Run:        token,
 			Workers:    cfg.ResolvedWorkers(),
 			FullRounds: cfg.FullRounds,
 			Elapsed:    time.Since(start),
@@ -187,4 +200,41 @@ func (res *Result) JSON() ([]byte, error) {
 // are also available via Result.Chart.CSV().
 func (res *Result) CSV() ([]byte, error) {
 	return res.Table.CSV()
+}
+
+// Markdown encodes the result's table as a GitHub-flavored Markdown
+// table, byte-deterministically. Like CSV, the encoding covers the
+// table only; chart series travel in the JSON encoding.
+func (res *Result) Markdown() []byte {
+	return res.Table.Markdown()
+}
+
+// RunOptions bundles the per-run Runner knobs a serving or batch
+// frontend accepts over the wire. The zero value means defaults
+// (CPU-count worker pool, one-round-scaled pairing fast path).
+type RunOptions struct {
+	Workers    int  `json:"workers,omitempty"`
+	FullRounds bool `json:"full_rounds,omitempty"`
+}
+
+// Options expands o into the equivalent Runner options.
+func (o RunOptions) Options() []Option {
+	return []Option{WithWorkers(o.Workers), WithFullRounds(o.FullRounds)}
+}
+
+// Normalize canonicalizes options for result identity under this
+// experiment: two requests whose normalized options agree are
+// guaranteed byte-identical Result encodings, so a result cache may
+// key on (ID, normalized options) and coalesce them. Workers is
+// always zeroed (output is byte-identical at any pool size), and
+// FullRounds is cleared for experiments whose generators never
+// consult it (every artifact except the flow-level pairing
+// simulations). Frontends should run with the normalized options so
+// the cached Result's metadata matches its cache identity.
+func (e Experiment) Normalize(o RunOptions) RunOptions {
+	o.Workers = 0
+	if !e.usesFullRounds {
+		o.FullRounds = false
+	}
+	return o
 }

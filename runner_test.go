@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"netpart/internal/bgq"
@@ -135,6 +136,91 @@ func TestRunnerOptions(t *testing.T) {
 	}
 	if calls == 0 || last.Done != last.Total || last.Total == 0 {
 		t.Errorf("progress ended at %+v after %d calls", last, calls)
+	}
+}
+
+// TestRunTokensDistinguishConcurrentRuns: two concurrent runs of the
+// same experiment ID report distinct per-run tokens, each token is
+// stable across its run's reports, and RunMeta echoes it — the
+// contract a multiplexed progress consumer (SSE fan-out) relies on.
+func TestRunTokensDistinguishConcurrentRuns(t *testing.T) {
+	ctx := context.Background()
+	run := func() (string, map[string]bool) {
+		tokens := map[string]bool{}
+		var mu sync.Mutex
+		runner := NewRunner(WithWorkers(2), WithProgress(func(p Progress) {
+			if p.Experiment != "figure1" {
+				t.Errorf("progress for %q", p.Experiment)
+			}
+			if p.Run == "" {
+				t.Error("empty run token")
+			}
+			mu.Lock()
+			tokens[p.Run] = true
+			mu.Unlock()
+		}))
+		res, err := runner.Run(ctx, "figure1")
+		if err != nil {
+			t.Error(err)
+			return "", nil
+		}
+		return res.Meta.Run, tokens
+	}
+	type out struct {
+		meta   string
+		tokens map[string]bool
+	}
+	results := make(chan out, 2)
+	for range 2 {
+		go func() {
+			meta, tokens := run()
+			results <- out{meta, tokens}
+		}()
+	}
+	a, b := <-results, <-results
+	for _, o := range []out{a, b} {
+		if len(o.tokens) != 1 || !o.tokens[o.meta] {
+			t.Errorf("run reported tokens %v but meta token %q", o.tokens, o.meta)
+		}
+	}
+	if a.meta == b.meta {
+		t.Errorf("concurrent runs share token %q", a.meta)
+	}
+}
+
+// TestNormalizeOptions pins the cache-identity contract: Workers
+// never matters, FullRounds only for the pairing simulations.
+func TestNormalizeOptions(t *testing.T) {
+	for _, exp := range Registry() {
+		got := exp.Normalize(RunOptions{Workers: 8, FullRounds: true})
+		if got.Workers != 0 {
+			t.Errorf("%s: Workers survived normalization", exp.ID)
+		}
+		wantFull := exp.ID == "figure3" || exp.ID == "figure4"
+		if got.FullRounds != wantFull {
+			t.Errorf("%s: normalized FullRounds = %v, want %v", exp.ID, got.FullRounds, wantFull)
+		}
+	}
+}
+
+// TestResultMarkdown: the Markdown encoding is deterministic and
+// carries the table grid.
+func TestResultMarkdown(t *testing.T) {
+	runner := NewRunner()
+	res, err := runner.Run(context.Background(), "table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := res.Markdown()
+	if !bytes.Contains(md, []byte("| --- |")) || !bytes.Contains(md, []byte(res.Table.Headers[0])) {
+		t.Errorf("markdown missing table structure:\n%s", md)
+	}
+	res2, err := runner.Run(context.Background(), "table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(md, res2.Markdown()) {
+		t.Error("Markdown encoding not deterministic across runs")
 	}
 }
 
