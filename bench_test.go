@@ -253,7 +253,10 @@ func BenchmarkMaxMinFair(b *testing.B) {
 	// One pairing round on the 4-midplane current geometry: 2048 flows.
 	tor := torus.MustNew(16, 4, 4, 4, 2)
 	r := route.NewRouter(tor)
-	demands := workload.BisectionPairing(r, 2.1472e9)
+	demands, err := workload.BisectionPairing(r, 2.1472e9)
+	if err != nil {
+		b.Fatal(err)
+	}
 	routes := make([][]int, len(demands))
 	for i, d := range demands {
 		routes[i] = r.Route(d.Src, d.Dst, nil)
@@ -277,7 +280,10 @@ func BenchmarkMaxMinFair(b *testing.B) {
 func BenchmarkMaxMinFairSteadyState(b *testing.B) {
 	tor := torus.MustNew(16, 4, 4, 4, 2)
 	r := route.NewRouter(tor)
-	demands := workload.BisectionPairing(r, 2.1472e9)
+	demands, err := workload.BisectionPairing(r, 2.1472e9)
+	if err != nil {
+		b.Fatal(err)
+	}
 	routes := make([][]int, len(demands))
 	for i, d := range demands {
 		routes[i] = r.Route(d.Src, d.Dst, nil)

@@ -1,0 +1,164 @@
+// Command benchsnap runs a benchmark selection through `go test
+// -bench` and records the parsed results as JSON, so the performance
+// trajectory of the hot paths is tracked as data instead of buried in
+// CI logs.
+//
+// Usage:
+//
+//	benchsnap [-bench 'BenchmarkSweep|BenchmarkScenario'] [-benchtime 100ms]
+//	          [-count 3] [-out BENCH_sweep.json] [packages ...]
+//
+// Packages default to the repository root package. The output
+// document records the toolchain, platform, the exact selection, and
+// one entry per benchmark with iterations, ns/op and (when -benchmem
+// applies, which benchsnap always passes) B/op and allocs/op.
+// Repetitions (-count) average into one entry and entries are sorted
+// by name, so diffs between snapshots are stable.
+//
+// Two consumers:
+//
+//   - CI runs `go run ./cmd/benchsnap -out /tmp/BENCH_sweep.json` and
+//     prints it, so every build log carries a parseable snapshot.
+//   - The checked-in BENCH_sweep.json is the per-PR reference
+//     snapshot; regenerate it with `go run ./cmd/benchsnap` when a PR
+//     touches the scenario/sweep hot paths, and compare against the
+//     previous revision (absolute values are machine-dependent —
+//     compare snapshots taken on the same machine).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// snapshot is the recorded document.
+type snapshot struct {
+	Go        string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	Count     int      `json:"count"`
+	Packages  []string `json:"packages"`
+	Results   []result `json:"results"`
+}
+
+// benchLine matches `go test -bench -benchmem` output, e.g.
+//
+//	BenchmarkSweepStatic64-8   42   27993741 ns/op   2387224 B/op   14972 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	bench := flag.String("bench", "BenchmarkSweep|BenchmarkScenario", "benchmark selection regexp (go test -bench)")
+	benchtime := flag.String("benchtime", "100ms", "per-benchmark time or iteration budget")
+	count := flag.Int("count", 3, "repetitions per benchmark")
+	out := flag.String("out", "BENCH_sweep.json", "output file (- for stdout)")
+	flag.Parse()
+	log.SetPrefix("benchsnap: ")
+	log.SetFlags(0)
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"."}
+	}
+
+	args := []string{"test", "-run", "^$",
+		"-bench", *bench, "-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count), "-benchmem"}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		log.Fatalf("go %s: %v", strings.Join(args, " "), err)
+	}
+
+	// Repetitions (-count > 1) of one benchmark average into a single
+	// entry, keeping snapshots diffable.
+	type acc struct {
+		result
+		n int64
+	}
+	byName := map[string]*acc{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytesOp, allocsOp int64
+		if m[4] != "" {
+			bytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		a := byName[m[1]]
+		if a == nil {
+			a = &acc{result: result{Name: m[1]}}
+			byName[m[1]] = a
+		}
+		a.n++
+		a.Iterations += iters
+		a.NsPerOp += ns
+		a.BytesPerOp += bytesOp
+		a.AllocsPerOp += allocsOp
+	}
+	if len(byName) == 0 {
+		log.Fatalf("no benchmarks matched %q in %v", *bench, pkgs)
+	}
+
+	snap := snapshot{
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		Count:     *count,
+		Packages:  pkgs,
+	}
+	for _, a := range byName {
+		r := a.result
+		r.Iterations /= a.n
+		r.NsPerOp /= float64(a.n)
+		r.BytesPerOp /= a.n
+		r.AllocsPerOp /= a.n
+		snap.Results = append(snap.Results, r)
+	}
+	sort.Slice(snap.Results, func(i, j int) bool { return snap.Results[i].Name < snap.Results[j].Name })
+
+	doc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchsnap: recorded %d benchmarks to %s\n", len(snap.Results), *out)
+}

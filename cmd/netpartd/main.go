@@ -1,8 +1,9 @@
 // Command netpartd serves the netpart experiment registry over HTTP:
 // the /v1 REST surface of internal/serve (registry listing,
 // synchronous cached results, asynchronous runs with SSE progress
-// streams), with per-cost-class admission control and request
-// coalescing in front of the Runner.
+// streams, user-defined scenarios and parameter-grid sweeps), with
+// per-cost-class admission control and request coalescing in front of
+// the Runner.
 //
 // Usage:
 //
@@ -16,10 +17,22 @@
 //
 // Quick tour:
 //
+//	curl -s localhost:8080/v1/healthz
 //	curl -s localhost:8080/v1/experiments?cost=cheap
 //	curl -s localhost:8080/v1/experiments/table6/result?format=markdown
 //	curl -s -X POST localhost:8080/v1/runs -d '{"experiment":"figure3"}'
 //	curl -N localhost:8080/v1/runs/run-000001/events
+//	curl -s -X POST localhost:8080/v1/scenarios -d '{
+//	  "topology": {"kind": "torus", "shape": "8x8x4"},
+//	  "workload": {"pattern": "adversarial"}}'
+//	curl -s -X POST localhost:8080/v1/sweeps -d '{
+//	  "name": "policy sweep",
+//	  "base": {"topology": {"kind": "partition", "machine": "juqueen", "midplanes": 4},
+//	           "workload": {"pattern": "pairing"}},
+//	  "axes": [{"path": "topology.policy", "values": ["best-case", "worst-case", "first-fit"]},
+//	           {"path": "workload.pattern", "values": ["pairing", "neighbor"]}]}'
+//	curl -N localhost:8080/v1/sweeps/sweep-000001/events
+//	curl -s localhost:8080/v1/sweeps/sweep-000001?format=markdown
 package main
 
 import (

@@ -32,14 +32,20 @@ func main() {
 	const gb = 1e9
 	rng := rand.New(rand.NewSource(2020))
 
+	mustDemands := func(demands []route.Demand, err error) []route.Demand {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return demands
+	}
 	patterns := []struct {
 		name    string
 		demands []route.Demand
 	}{
-		{"furthest-node pairing", workload.BisectionPairing(r, gb)},
-		{"random permutation", workload.RandomPermutation(tor, gb, rng)},
-		{"longest-dim shift", workload.LongestDimShift(tor, gb)},
-		{"nearest-neighbour halo", workload.NearestNeighbor(tor, gb/10)},
+		{"furthest-node pairing", mustDemands(workload.BisectionPairing(r, gb))},
+		{"random permutation", mustDemands(workload.RandomPermutation(tor, gb, rng))},
+		{"longest-dim shift", mustDemands(workload.LongestDimShift(tor, gb))},
+		{"nearest-neighbour halo", mustDemands(workload.NearestNeighbor(tor, gb/10))},
 	}
 
 	t := tabulate.Table{

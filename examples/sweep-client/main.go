@@ -1,0 +1,153 @@
+// Sweep-client: the consumer's view of the scenario & sweep API.
+// It submits a parameter-grid sweep to a running netpartd, tails the
+// Server-Sent-Events stream — printing every completed point as it
+// lands — and fetches the final result in the requested encoding.
+//
+// Start the daemon, then run the client:
+//
+//	go run ./cmd/netpartd -addr localhost:8080
+//	go run ./examples/sweep-client -addr localhost:8080
+//
+// By default it sweeps machine grid shape × workload pattern ×
+// allocation policy over hypothetical Blue Gene/Q machines — the
+// machine-design question of the paper's §5 asked at serving time
+// instead of compile time. Pass -grid file.json to submit your own
+// grid document instead.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func demoGrid() map[string]any {
+	return map[string]any{
+		"name": "machine shape × pattern × policy",
+		"base": map[string]any{
+			"topology": map[string]any{"kind": "partition", "machine": "2x2x2x1", "midplanes": 4},
+			"workload": map[string]any{"pattern": "pairing", "bytes": 1e9},
+		},
+		"axes": []map[string]any{
+			{"path": "topology.machine", "values": []any{"2x2x2x1", "4x2x2x1", "4x4x2x1"}},
+			{"path": "workload.pattern", "values": []any{"pairing", "longest-dim"}},
+			{"path": "topology.policy", "values": []any{"best-case", "worst-case", "first-fit"}},
+		},
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "netpartd address")
+	gridFile := flag.String("grid", "", "grid JSON file (default: built-in demo grid)")
+	format := flag.String("format", "markdown", "final result encoding: json, csv or markdown")
+	flag.Parse()
+	log.SetFlags(0)
+	base := "http://" + *addr
+
+	var body []byte
+	if *gridFile != "" {
+		var err error
+		if body, err = os.ReadFile(*gridFile); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		body, _ = json.Marshal(demoGrid())
+	}
+
+	// Submit the sweep.
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit: %s: %s", resp.Status, doc)
+	}
+	var job struct {
+		ID         string            `json:"id"`
+		Experiment string            `json:"experiment"`
+		Links      map[string]string `json:"links"`
+	}
+	if err := json.Unmarshal(doc, &job); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (experiment %s)\n", job.ID, job.Experiment)
+
+	// Tail the event stream: per-point completions and progress.
+	events, err := http.Get(base + job.Links["events"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer events.Body.Close()
+	sc := bufio.NewScanner(events.Body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "point":
+				var p struct {
+					Index  int `json:"index"`
+					Coords []struct {
+						Path  string `json:"path"`
+						Value string `json:"value"`
+					} `json:"coords"`
+					Outcome *struct {
+						Geometry    string  `json:"geometry"`
+						StaticSec   float64 `json:"static_sec"`
+						ContentionX float64 `json:"contention_x"`
+					} `json:"outcome"`
+					Err string `json:"error"`
+				}
+				if err := json.Unmarshal([]byte(data), &p); err != nil {
+					continue
+				}
+				coords := make([]string, 0, len(p.Coords))
+				for _, c := range p.Coords {
+					coords = append(coords, c.Value)
+				}
+				switch {
+				case p.Err != "":
+					fmt.Printf("  point %2d  %-40s  ERROR %s\n", p.Index, strings.Join(coords, " · "), p.Err)
+				case p.Outcome != nil:
+					fmt.Printf("  point %2d  %-40s  geom %-8s static %.3fs  contention %.1fx\n",
+						p.Index, strings.Join(coords, " · "), p.Outcome.Geometry, p.Outcome.StaticSec, p.Outcome.ContentionX)
+				}
+			case "progress":
+				var pr struct{ Done, Total int }
+				if json.Unmarshal([]byte(data), &pr) == nil && pr.Done == pr.Total {
+					fmt.Printf("  all %d points done\n", pr.Total)
+				}
+			case "done":
+				goto finished
+			}
+		}
+	}
+finished:
+
+	// Fetch the final result in the requested encoding. Repeat fetches
+	// are byte-identical; pass If-None-Match with the returned ETag to
+	// revalidate for free.
+	res, err := http.Get(base + job.Links["self"] + "?format=" + *format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Body.Close()
+	final, _ := io.ReadAll(res.Body)
+	if res.StatusCode != http.StatusOK {
+		log.Fatalf("result: %s: %s", res.Status, final)
+	}
+	fmt.Printf("\nresult (%s, ETag %s):\n\n%s\n", *format, res.Header.Get("ETag"), final)
+}

@@ -13,6 +13,18 @@ import (
 	"netpart/internal/workload"
 )
 
+// demandsOrFatal returns an unwrapper for generator results the test
+// expects to succeed.
+func demandsOrFatal(tb testing.TB) func(d []route.Demand, err error) []route.Demand {
+	return func(d []route.Demand, err error) []route.Demand {
+		if err != nil {
+			tb.Helper()
+			tb.Fatal(err)
+		}
+		return d
+	}
+}
+
 func TestExactBoundSimpleCut(t *testing.T) {
 	// Two cliques joined by one edge: all cross traffic through 1 link.
 	g := graph.New(6)
@@ -66,7 +78,7 @@ func TestSlabBoundMatchesExactOnSmallTorus(t *testing.T) {
 	tor := torus.MustNew(8)
 	g := topo.FromTorus(tor)
 	r := route.NewRouter(tor)
-	demands := workload.BisectionPairing(r, 64)
+	demands := demandsOrFatal(t)(workload.BisectionPairing(r, 64))
 	exact, err := ExactBound(g, demands, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +102,7 @@ func TestSlabBoundNeverExceedsExact(t *testing.T) {
 	g := topo.FromTorus(tor)
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 10; trial++ {
-		demands := workload.RandomPermutation(tor, 10+rng.Float64()*100, rng)
+		demands := demandsOrFatal(t)(workload.RandomPermutation(tor, 10+rng.Float64()*100, rng))
 		exact, err := ExactBound(g, demands, 2)
 		if err != nil {
 			t.Fatal(err)
@@ -113,9 +125,9 @@ func TestBoundIsSoundAgainstSimulator(t *testing.T) {
 	r := route.NewRouter(tor)
 	rng := rand.New(rand.NewSource(5))
 	patterns := [][]route.Demand{
-		workload.BisectionPairing(r, 1e9),
-		workload.RandomPermutation(tor, 1e9, rng),
-		workload.LongestDimShift(tor, 1e9),
+		demandsOrFatal(t)(workload.BisectionPairing(r, 1e9)),
+		demandsOrFatal(t)(workload.RandomPermutation(tor, 1e9, rng)),
+		demandsOrFatal(t)(workload.LongestDimShift(tor, 1e9)),
 	}
 	for pi, demands := range patterns {
 		lb, err := SlabBound(tor, demands, 2e9)
@@ -142,7 +154,7 @@ func TestBoundIsSoundAgainstSimulator(t *testing.T) {
 func TestPairingRoutingGap(t *testing.T) {
 	tor := torus.MustNew(16, 4, 4, 4, 2)
 	r := route.NewRouter(tor)
-	demands := workload.BisectionPairing(r, 2.1472e9)
+	demands := demandsOrFatal(t)(workload.BisectionPairing(r, 2.1472e9))
 	gap, err := RoutingGap(r, demands, 2e9)
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +167,7 @@ func TestPairingRoutingGap(t *testing.T) {
 func TestBisectionPairingBoundClosedForm(t *testing.T) {
 	tor := torus.MustNew(16, 4, 4, 4, 2)
 	r := route.NewRouter(tor)
-	demands := workload.BisectionPairing(r, 1e9)
+	demands := demandsOrFatal(t)(workload.BisectionPairing(r, 1e9))
 	slab, err := SlabBound(tor, demands, 2e9)
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +229,7 @@ func TestWorstSetBoundErrors(t *testing.T) {
 func BenchmarkSlabBoundPairing(b *testing.B) {
 	tor := torus.MustNew(16, 12, 8, 4, 2)
 	r := route.NewRouter(tor)
-	demands := workload.BisectionPairing(r, 2.1472e9)
+	demands := demandsOrFatal(b)(workload.BisectionPairing(r, 2.1472e9))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SlabBound(tor, demands, 2e9); err != nil {

@@ -99,6 +99,17 @@ func (c Config) ResolvedWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ForEach exposes the bounded worker-pool driver to sibling
+// subsystems (the scenario sweep engine shards parameter grids onto
+// it): fn(0..n-1) runs on min(workers, n) goroutines with the same
+// determinism and cancellation contract as the experiment generators
+// — the lowest-index error wins, workers stop picking up units once
+// any unit fails or ctx is canceled, and a run that completed every
+// unit returns nil even if cancellation lands afterwards.
+func (c Config) ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	return c.forEach(ctx, n, fn)
+}
+
 // forEach runs fn(0..n-1) on a bounded pool of min(workers, n)
 // goroutines and returns the lowest-index error, mirroring what a
 // sequential loop would have surfaced first. Work is handed out

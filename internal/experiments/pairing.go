@@ -54,7 +54,10 @@ func SimulatePairing(ctx context.Context, cfg model.PairingConfig, fullRounds bo
 		return 0, err
 	}
 	r := route.NewRouter(tor)
-	demands := workload.BisectionPairing(r, cfg.RoundBytes())
+	demands, err := workload.BisectionPairing(r, cfg.RoundBytes())
+	if err != nil {
+		return 0, err
+	}
 	rounds := cfg.Rounds
 	simRounds := 1
 	if fullRounds {

@@ -9,6 +9,18 @@ import (
 	"netpart/internal/workload"
 )
 
+// demandsOrFatal returns an unwrapper for generator results the test
+// expects to succeed.
+func demandsOrFatal(tb testing.TB) func(d []route.Demand, err error) []route.Demand {
+	return func(d []route.Demand, err error) []route.Demand {
+		if err != nil {
+			tb.Helper()
+			tb.Fatal(err)
+		}
+		return d
+	}
+}
+
 func TestAppGraphBasics(t *testing.T) {
 	g := NewAppGraph(4)
 	g.Add(0, 1, 100)
@@ -141,7 +153,7 @@ func TestMappingCannotBeatGeometry(t *testing.T) {
 	// talk across it when the workload demands distance (here we take
 	// the furthest-node matching as given, per the benchmark).
 	rWorst := route.NewRouter(torWorst)
-	demandsWorst := workload.BisectionPairing(rWorst, 1)
+	demandsWorst := demandsOrFatal(t)(workload.BisectionPairing(rWorst, 1))
 	appWorst := NewAppGraph(torWorst.NumVertices())
 	for _, d := range demandsWorst {
 		appWorst.Add(d.Src, d.Dst, d.Bytes)
@@ -158,7 +170,7 @@ func TestMappingCannotBeatGeometry(t *testing.T) {
 	}
 
 	rBest := route.NewRouter(torBest)
-	demandsBest := workload.BisectionPairing(rBest, 1)
+	demandsBest := demandsOrFatal(t)(workload.BisectionPairing(rBest, 1))
 	appBest := NewAppGraph(torBest.NumVertices())
 	for _, d := range demandsBest {
 		appBest.Add(d.Src, d.Dst, d.Bytes)

@@ -1,0 +1,280 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"netpart/internal/model"
+	"netpart/internal/netsim"
+	"netpart/internal/route"
+	"netpart/internal/tabulate"
+	"netpart/internal/workload"
+)
+
+// simCancelStride bounds flow starts between context checks inside
+// the flow-level simulation, mirroring the pairing experiments.
+const simCancelStride = 256
+
+// Outcome is the result of running one scenario: the resolved
+// topology, the generated workload, the static bottleneck analysis
+// (the paper's §4.1 contention model) and, when enabled, the
+// flow-level max-min fair simulation. All fields are deterministic
+// functions of the normalized Spec.
+type Outcome struct {
+	Spec Spec `json:"spec"`
+
+	// Topology.
+	Topology    string `json:"topology"`
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	Geometry    string `json:"geometry,omitempty"`     // partition midplane geometry
+	BisectionBW int    `json:"bisection_bw,omitempty"` // partition internal bisection (links)
+
+	// Workload.
+	Demands    int     `json:"demands"`
+	TotalBytes float64 `json:"total_bytes"`
+
+	// Static contention analysis under the deterministic routing.
+	MaxLinkBytes  float64 `json:"max_link_bytes"`
+	Bottleneck    string  `json:"bottleneck,omitempty"`
+	ActiveLinks   int     `json:"active_links"`
+	MeanLinkBytes float64 `json:"mean_link_bytes"`
+	IdealSec      float64 `json:"ideal_sec"`
+	StaticSec     float64 `json:"static_sec"`
+	ContentionX   float64 `json:"contention_x"`
+
+	// Flow-level simulation (Spec.Sim).
+	SimSec    float64 `json:"sim_sec,omitempty"`
+	SimRounds int     `json:"sim_rounds,omitempty"`
+}
+
+// Run executes the scenario: normalize, resolve the topology, build
+// the workload, run the static analysis and (optionally) the
+// flow-level simulation. The context is checked between phases and
+// every simCancelStride flow starts.
+func Run(ctx context.Context, spec Spec) (*Outcome, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	net, err := norm.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Spec:     norm,
+		Topology: net.label,
+		Vertices: net.vertices,
+		Edges:    net.edges,
+	}
+	if net.partition != nil {
+		out.Geometry = net.partition.String()
+		out.BisectionBW = net.partition.BisectionBW()
+	}
+
+	demands, err := norm.demands(net)
+	if err != nil {
+		return nil, err
+	}
+	out.Demands = len(demands)
+	out.TotalBytes = workload.TotalBytes(demands)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	routes, caps, linkName, err := norm.routesAndCapacities(net, demands)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Static analysis: per-directed-link byte loads, bottleneck
+	// normalized by link capacity.
+	load := make([]float64, len(caps))
+	for i, r := range routes {
+		for _, l := range r {
+			load[l] += demands[i].Bytes
+		}
+	}
+	maxSec, maxLink := 0.0, -1
+	for l, b := range load {
+		if b <= 0 {
+			continue
+		}
+		out.ActiveLinks++
+		out.MeanLinkBytes += b
+		if sec := b / caps[l]; sec > maxSec {
+			maxSec, maxLink = sec, l
+		}
+	}
+	out.StaticSec = maxSec
+	if maxLink >= 0 {
+		out.Bottleneck = linkName(maxLink)
+		out.MaxLinkBytes = load[maxLink]
+	}
+	if out.ActiveLinks > 0 {
+		out.MeanLinkBytes /= float64(out.ActiveLinks)
+	}
+	// Ideal: the slowest flow with all contention removed — each flow
+	// alone at full capacity is paced by the slowest link on its own
+	// route, so heterogeneous capacities (Dragonfly's weighted links)
+	// count only where a flow actually crosses them.
+	for i, d := range demands {
+		alone := 0.0
+		for _, l := range routes[i] {
+			if sec := d.Bytes / caps[l]; sec > alone {
+				alone = sec
+			}
+		}
+		if alone > out.IdealSec {
+			out.IdealSec = alone
+		}
+	}
+	if out.IdealSec > 0 {
+		out.ContentionX = out.StaticSec / out.IdealSec
+	}
+
+	if norm.Sim.Enabled {
+		simSec, err := simulate(ctx, routes, demands, caps, norm.Sim.Rounds)
+		if err != nil {
+			return nil, err
+		}
+		out.SimSec = simSec
+		out.SimRounds = norm.Sim.Rounds
+	}
+	return out, nil
+}
+
+// demands builds the workload on the resolved network.
+func (s Spec) demands(net *network) ([]route.Demand, error) {
+	w := s.Workload
+	if net.router != nil {
+		switch w.Pattern {
+		case PatternPairing:
+			return workload.BisectionPairing(net.router, w.Bytes)
+		case PatternPermutation:
+			return workload.RandomPermutation(net.tor, w.Bytes, rand.New(rand.NewSource(w.Seed)))
+		case PatternAllToAll:
+			return workload.AllToAll(net.tor, w.Bytes)
+		case PatternNeighbor:
+			return workload.NearestNeighbor(net.tor, w.Bytes)
+		case PatternLongestDim:
+			return workload.LongestDimShift(net.tor, w.Bytes)
+		case PatternAdversarial:
+			return workload.NearWorstCase(net.tor, w.Bytes, w.Iters, w.Seed)
+		}
+		return nil, fmt.Errorf("scenario: unknown pattern %q", w.Pattern)
+	}
+	gn := net.gnet
+	switch w.Pattern {
+	case PatternPairing:
+		return gn.pairing(w.Bytes), nil
+	case PatternPermutation:
+		return gn.permutation(w.Bytes, rand.New(rand.NewSource(w.Seed))), nil
+	case PatternAllToAll:
+		if gn.n > workload.MaxAllToAllNodes {
+			return nil, fmt.Errorf("scenario: all-to-all on %d vertices exceeds the %d-vertex bound", gn.n, workload.MaxAllToAllNodes)
+		}
+		return gn.allToAll(w.Bytes), nil
+	case PatternNeighbor:
+		return gn.neighbors(w.Bytes), nil
+	}
+	return nil, fmt.Errorf("scenario: pattern %q is not available on %s topologies", w.Pattern, s.Topology.Kind)
+}
+
+// routesAndCapacities computes every demand's route and the
+// per-directed-link capacity vector, plus a link name function for
+// diagnostics.
+func (s Spec) routesAndCapacities(net *network, demands []route.Demand) ([][]int, []float64, func(int) string, error) {
+	if net.router != nil {
+		r := net.router
+		routes := make([][]int, len(demands))
+		flat := make([]int, 0, len(demands)*8)
+		bounds := make([]int, len(demands)+1)
+		for i, d := range demands {
+			flat = r.Route(d.Src, d.Dst, flat)
+			bounds[i+1] = len(flat)
+		}
+		for i := range routes {
+			routes[i] = flat[bounds[i]:bounds[i+1]]
+		}
+		caps := make([]float64, r.NumLinks())
+		for i := range caps {
+			caps[i] = model.LinkBytesPerSec
+		}
+		return routes, caps, r.LinkString, nil
+	}
+	routes, err := net.gnet.routes(demands)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return routes, net.gnet.capacities(model.LinkBytesPerSec), net.gnet.linkString, nil
+}
+
+// simulate runs the flow-level max-min fair simulation: all demands
+// start at once, each round runs to completion, rounds repeat
+// back-to-back.
+func simulate(ctx context.Context, routes [][]int, demands []route.Demand, caps []float64, rounds int) (float64, error) {
+	sim := netsim.NewWithCapacities(caps)
+	total := 0.0
+	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for i, d := range demands {
+			if i%simCancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			if len(routes[i]) == 0 {
+				continue
+			}
+			sim.StartFlow(routes[i], d.Bytes, 0)
+		}
+		total += sim.RunUntilIdle()
+	}
+	return total, nil
+}
+
+// Table renders the outcome as a deterministic metric/value table.
+func (o *Outcome) Table() tabulate.Table {
+	t := tabulate.Table{
+		Title:   "Scenario: " + o.Spec.Title(),
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("topology", o.Topology)
+	t.AddRow("routing", o.Spec.Routing)
+	t.AddRow("vertices", o.Vertices)
+	t.AddRow("edges", o.Edges)
+	if o.Geometry != "" {
+		t.AddRow("geometry", o.Geometry)
+		t.AddRow("bisection BW (links)", o.BisectionBW)
+	}
+	t.AddRow("pattern", o.Spec.Workload.Pattern)
+	t.AddRow("demands", o.Demands)
+	t.AddRow("total GB", o.TotalBytes/1e9)
+	t.AddRow("max link GB", o.MaxLinkBytes/1e9)
+	if o.Bottleneck != "" {
+		t.AddRow("bottleneck link", o.Bottleneck)
+	}
+	t.AddRow("active links", o.ActiveLinks)
+	t.AddRow("mean link GB", o.MeanLinkBytes/1e9)
+	t.AddRow("ideal (s)", o.IdealSec)
+	t.AddRow("static bottleneck (s)", o.StaticSec)
+	t.AddRow("contention factor", o.ContentionX)
+	if o.Spec.Sim.Enabled {
+		t.AddRow("simulated (s)", o.SimSec)
+		t.AddRow("simulated rounds", o.SimRounds)
+	}
+	return t
+}

@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"netpart/internal/experiments"
+	"netpart/internal/scenario"
+	"netpart/internal/tabulate"
+)
+
+// PointResult is one executed grid point. Exactly one of Outcome and
+// Err is set: a point that fails at run time (an infeasible policy, a
+// disconnected topology) is isolated — its error is recorded and the
+// sweep continues.
+type PointResult struct {
+	Index   int               `json:"index"`
+	Coords  []Coord           `json:"coords"`
+	Outcome *scenario.Outcome `json:"outcome,omitempty"`
+	Err     string            `json:"error,omitempty"`
+}
+
+// Result is a completed sweep: every point in index order.
+type Result struct {
+	ID        string        `json:"id"`
+	Name      string        `json:"name,omitempty"`
+	AxisPaths []string      `json:"axis_paths"`
+	Points    []PointResult `json:"points"`
+	Failed    int           `json:"failed"`
+}
+
+// Options tunes a sweep execution.
+type Options struct {
+	// Workers bounds the worker pool (0 = runnable CPUs, 1 =
+	// sequential). Output is byte-identical at any pool size.
+	Workers int
+	// ShardSize is the number of consecutive points one pool unit
+	// executes (0 = derived from the point count and pool size).
+	// Sharding amortizes pool dispatch for large grids of cheap
+	// points while keeping enough shards to balance skewed costs.
+	ShardSize int
+	// OnPoint, when non-nil, receives every completed point in
+	// completion order (not index order). Calls are serialized.
+	OnPoint func(PointResult)
+	// OnProgress, when non-nil, receives (completedPoints, total)
+	// after every point. Calls are serialized and monotone.
+	OnProgress func(done, total int)
+}
+
+// shardSizeFor balances dispatch overhead against skew: aim for ~8
+// shards per worker, at least 1 and at most 16 points per shard.
+func shardSizeFor(points, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	size := points / (8 * workers)
+	if size < 1 {
+		return 1
+	}
+	if size > 16 {
+		return 16
+	}
+	return size
+}
+
+// Run expands the grid and executes it. Equivalent to Expand followed
+// by RunPoints.
+func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
+	points, err := g.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return RunPoints(ctx, g, points, opts)
+}
+
+// RunPoints executes pre-expanded grid points, sharded onto the
+// experiment worker-pool driver. Point failures are isolated into
+// PointResult.Err; only context cancellation aborts the sweep.
+// Results land in index-addressed slots, so the returned Result is
+// byte-deterministic for a given grid regardless of worker count or
+// shard size.
+func RunPoints(ctx context.Context, g Grid, points []Point, opts Options) (*Result, error) {
+	n := len(points)
+	res := &Result{
+		ID:     ID(g.Name, points),
+		Name:   g.Name,
+		Points: make([]PointResult, n),
+	}
+	for _, ax := range g.Axes {
+		res.AxisPaths = append(res.AxisPaths, ax.Path)
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	cfg := experiments.Config{Workers: opts.Workers}
+	shardSize := opts.ShardSize
+	if shardSize <= 0 {
+		shardSize = shardSizeFor(n, cfg.ResolvedWorkers())
+	}
+	shards := (n + shardSize - 1) / shardSize
+
+	var mu sync.Mutex
+	done := 0
+	err := cfg.ForEach(ctx, shards, func(si int) error {
+		lo, hi := si*shardSize, (si+1)*shardSize
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			pr := PointResult{Index: i, Coords: points[i].Coords}
+			out, err := scenario.Run(ctx, points[i].Spec)
+			switch {
+			case err != nil && ctx.Err() != nil:
+				return ctx.Err()
+			case err != nil:
+				pr.Err = err.Error()
+			default:
+				pr.Outcome = out
+			}
+			res.Points[i] = pr
+
+			mu.Lock()
+			done++
+			d := done
+			if opts.OnPoint != nil {
+				opts.OnPoint(pr)
+			}
+			if opts.OnProgress != nil {
+				opts.OnProgress(d, n)
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Points {
+		if res.Points[i].Err != "" {
+			res.Failed++
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep as one row per point, in index order, with
+// the axis assignment followed by the headline metrics. The rendering
+// is byte-deterministic.
+func (r *Result) Table(title string) tabulate.Table {
+	headers := []string{"#"}
+	headers = append(headers, r.AxisPaths...)
+	headers = append(headers, "vertices", "demands", "geometry", "bisect BW",
+		"ideal (s)", "static (s)", "contention", "sim (s)", "error")
+	t := tabulate.Table{Title: title, Headers: headers}
+	for _, p := range r.Points {
+		row := make([]any, 0, len(headers))
+		row = append(row, p.Index)
+		// Coords follow the axis declaration order for every point.
+		byPath := map[string]string{}
+		for _, c := range p.Coords {
+			byPath[c.Path] = c.Value
+		}
+		for _, path := range r.AxisPaths {
+			row = append(row, byPath[path])
+		}
+		if o := p.Outcome; o != nil {
+			geo, bw := "-", "-"
+			if o.Geometry != "" {
+				geo = o.Geometry
+				bw = fmt.Sprintf("%d", o.BisectionBW)
+			}
+			sim := "-"
+			if o.Spec.Sim.Enabled {
+				sim = tabulate.FormatFloat(o.SimSec)
+			}
+			row = append(row, o.Vertices, o.Demands, geo, bw,
+				o.IdealSec, o.StaticSec, o.ContentionX, sim, "")
+		} else {
+			row = append(row, "-", "-", "-", "-", "-", "-", "-", "-", p.Err)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,316 @@
+// Package sweep is the parameter-grid engine over package scenario:
+// a Grid takes a base Spec and a set of axes (cartesian by default,
+// zipped on request), expands them into a bounded list of validated,
+// normalized scenario points, and executes the points sharded onto
+// the experiment worker-pool driver with per-point progress,
+// partial-failure isolation (a failing point records its error and
+// the sweep continues) and incremental streaming of completed points.
+//
+// Expansion, execution and rendering are byte-deterministic: points
+// are ordered row-major over the axes (last axis fastest), results
+// land in index-addressed slots regardless of completion order, and
+// the sweep's identity (ID) hashes the name, the normalized point
+// specs and the rendered axis assignments — everything that reaches
+// the output bytes. Two grids with the same identity are guaranteed
+// byte-identical results, so the serving layer coalesces them onto
+// one execution; grids that differ only in declaration mechanics
+// that cannot change the point sequence (e.g. zipped axes vs the
+// equivalent cartesian diagonal) share an identity.
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"netpart/internal/scenario"
+)
+
+// Point-count bounds.
+const (
+	// DefaultMaxPoints caps expansion when the grid does not set
+	// MaxPoints.
+	DefaultMaxPoints = 1024
+	// HardMaxPoints is the ceiling no grid may raise MaxPoints above.
+	HardMaxPoints = 65536
+)
+
+// Axis is one swept parameter: a dot-separated path into the scenario
+// Spec's JSON form ("topology.shape", "workload.pattern",
+// "topology.policy", "sim.enabled", ...) and the values it takes.
+// Axes with the same non-empty Zip tag advance together (they must
+// have equal lengths) instead of multiplying the grid.
+type Axis struct {
+	Path   string            `json:"path"`
+	Values []json.RawMessage `json:"values"`
+	Zip    string            `json:"zip,omitempty"`
+}
+
+// Strings builds axis values from strings (convenience for Go-side
+// grid construction).
+func Strings(vals ...string) []json.RawMessage {
+	out := make([]json.RawMessage, len(vals))
+	for i, v := range vals {
+		b, _ := json.Marshal(v)
+		out[i] = b
+	}
+	return out
+}
+
+// Ints builds axis values from ints.
+func Ints(vals ...int) []json.RawMessage {
+	out := make([]json.RawMessage, len(vals))
+	for i, v := range vals {
+		b, _ := json.Marshal(v)
+		out[i] = b
+	}
+	return out
+}
+
+// Floats builds axis values from floats.
+func Floats(vals ...float64) []json.RawMessage {
+	out := make([]json.RawMessage, len(vals))
+	for i, v := range vals {
+		b, _ := json.Marshal(v)
+		out[i] = b
+	}
+	return out
+}
+
+// Grid is a declarative sweep: a base scenario plus swept axes.
+type Grid struct {
+	Name string        `json:"name,omitempty"`
+	Base scenario.Spec `json:"base"`
+	Axes []Axis        `json:"axes"`
+	// MaxPoints overrides DefaultMaxPoints (min 1, max HardMaxPoints).
+	MaxPoints int `json:"max_points,omitempty"`
+}
+
+// Coord is one rendered axis assignment of a point.
+type Coord struct {
+	Path  string `json:"path"`
+	Value string `json:"value"`
+}
+
+// Point is one expanded grid point: a validated, normalized scenario
+// spec plus the axis assignment that produced it.
+type Point struct {
+	Index  int
+	Spec   scenario.Spec
+	Coords []Coord
+}
+
+// axisGroup is one odometer digit: either a single axis or a zipped
+// bundle advancing together.
+type axisGroup struct {
+	axes   []int // indices into Grid.Axes
+	length int
+}
+
+// groups partitions the axes into odometer digits, in order of first
+// appearance.
+func (g Grid) groups() ([]axisGroup, error) {
+	var out []axisGroup
+	zipIndex := map[string]int{}
+	for i, ax := range g.Axes {
+		if strings.TrimSpace(ax.Path) == "" {
+			return nil, fmt.Errorf("sweep: axis %d has an empty path", i)
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Path)
+		}
+		if ax.Zip == "" {
+			out = append(out, axisGroup{axes: []int{i}, length: len(ax.Values)})
+			continue
+		}
+		if gi, ok := zipIndex[ax.Zip]; ok {
+			if out[gi].length != len(ax.Values) {
+				return nil, fmt.Errorf("sweep: zipped axis %q has %d values, group %q has %d", ax.Path, len(ax.Values), ax.Zip, out[gi].length)
+			}
+			out[gi].axes = append(out[gi].axes, i)
+			continue
+		}
+		zipIndex[ax.Zip] = len(out)
+		out = append(out, axisGroup{axes: []int{i}, length: len(ax.Values)})
+	}
+	return out, nil
+}
+
+// applyPath sets a dot-separated path in a JSON object tree,
+// creating intermediate objects as needed.
+func applyPath(doc map[string]any, path string, value json.RawMessage) error {
+	parts := strings.Split(path, ".")
+	cur := doc
+	for _, p := range parts[:len(parts)-1] {
+		next, ok := cur[p]
+		if !ok || next == nil {
+			m := map[string]any{}
+			cur[p] = m
+			cur = m
+			continue
+		}
+		m, ok := next.(map[string]any)
+		if !ok {
+			return fmt.Errorf("sweep: path %q descends into non-object %q", path, p)
+		}
+		cur = m
+	}
+	var v any
+	if err := json.Unmarshal(value, &v); err != nil {
+		return fmt.Errorf("sweep: axis %q value %s: %w", path, value, err)
+	}
+	cur[parts[len(parts)-1]] = v
+	return nil
+}
+
+// coordValue renders an axis value for tables: bare strings lose
+// their quotes, everything else is compact JSON.
+func coordValue(raw json.RawMessage) string {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		return s
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return string(raw)
+	}
+	return buf.String()
+}
+
+// Expand materializes the grid: every combination of axis values
+// applied to the base spec, strictly decoded, validated and
+// normalized. The expansion is row-major (the last group advances
+// fastest) and bounded by MaxPoints.
+func (g Grid) Expand() ([]Point, error) {
+	groups, err := g.groups()
+	if err != nil {
+		return nil, err
+	}
+	maxPoints := g.MaxPoints
+	switch {
+	case maxPoints == 0:
+		maxPoints = DefaultMaxPoints
+	case maxPoints < 1 || maxPoints > HardMaxPoints:
+		return nil, fmt.Errorf("sweep: max_points %d out of range [1, %d]", g.MaxPoints, HardMaxPoints)
+	}
+	total := 1
+	for _, gr := range groups {
+		total *= gr.length
+		if total > maxPoints {
+			return nil, fmt.Errorf("sweep: grid expands past the %d-point bound", maxPoints)
+		}
+	}
+
+	baseJSON, err := json.Marshal(g.Base)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal base spec: %w", err)
+	}
+
+	odo := make([]int, len(groups))
+	points := make([]Point, 0, total)
+	for idx := 0; idx < total; idx++ {
+		var doc map[string]any
+		if err := json.Unmarshal(baseJSON, &doc); err != nil {
+			return nil, fmt.Errorf("sweep: base spec: %w", err)
+		}
+		coords := make([]Coord, 0, len(g.Axes))
+		for gi, gr := range groups {
+			for _, ai := range gr.axes {
+				ax := g.Axes[ai]
+				val := ax.Values[odo[gi]]
+				if err := applyPath(doc, ax.Path, val); err != nil {
+					return nil, err
+				}
+				coords = append(coords, Coord{Path: ax.Path, Value: coordValue(val)})
+			}
+		}
+		patched, err := json.Marshal(doc)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", idx, err)
+		}
+		var spec scenario.Spec
+		dec := json.NewDecoder(bytes.NewReader(patched))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return nil, fmt.Errorf("sweep: point %d (%s): %w", idx, describeCoords(coords), err)
+		}
+		norm, err := spec.Normalize()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: point %d (%s): %w", idx, describeCoords(coords), err)
+		}
+		points = append(points, Point{Index: idx, Spec: norm, Coords: coords})
+
+		// Advance the odometer: last group fastest.
+		for gi := len(groups) - 1; gi >= 0; gi-- {
+			odo[gi]++
+			if odo[gi] < groups[gi].length {
+				break
+			}
+			odo[gi] = 0
+		}
+	}
+	return points, nil
+}
+
+func describeCoords(coords []Coord) string {
+	parts := make([]string, len(coords))
+	for i, c := range coords {
+		parts[i] = c.Path + "=" + c.Value
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ID returns the sweep's content identity: "sweep:" plus a hash over
+// the name and, per expanded point, the canonical spec and the
+// rendered axis assignment. The coords are part of identity because
+// they are part of the rendered table — two sweeps with equal IDs
+// are guaranteed byte-identical output, which is what the serving
+// cache requires of a key. (The flip side: re-spelling an axis value
+// — "4X4" vs "4x4" — changes the rendered coords and therefore the
+// identity, even though the underlying specs normalize identically.)
+func ID(name string, points []Point) string {
+	h := sha256.New()
+	h.Write([]byte(name))
+	for _, p := range points {
+		h.Write([]byte{0})
+		h.Write([]byte(p.Spec.Key()))
+		for _, c := range p.Coords {
+			h.Write([]byte{1})
+			h.Write([]byte(c.Path))
+			h.Write([]byte{2})
+			h.Write([]byte(c.Value))
+		}
+	}
+	return "sweep:" + hex.EncodeToString(h.Sum(nil)[:6])
+}
+
+// Cost derives the sweep's admission cost class from its points: a
+// sweep is never cheap (it must not starve the cheap registry
+// artifacts it shares the serving layer with), and it is heavy when
+// it is large or contains any heavy point.
+func Cost(points []Point) string {
+	if len(points) > 32 {
+		return scenario.CostHeavy
+	}
+	for _, p := range points {
+		if p.Spec.Cost() == scenario.CostHeavy {
+			return scenario.CostHeavy
+		}
+	}
+	return scenario.CostModerate
+}
+
+// Title returns the sweep's human label.
+func (g Grid) Title() string {
+	if g.Name != "" {
+		return g.Name
+	}
+	paths := make([]string, len(g.Axes))
+	for i, ax := range g.Axes {
+		paths[i] = ax.Path
+	}
+	return "sweep over " + strings.Join(paths, " × ")
+}

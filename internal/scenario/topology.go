@@ -1,0 +1,237 @@
+package scenario
+
+import (
+	"fmt"
+
+	"netpart/internal/bgq"
+	"netpart/internal/experiments"
+	"netpart/internal/graph"
+	"netpart/internal/route"
+	"netpart/internal/sched"
+	"netpart/internal/topo"
+	"netpart/internal/torus"
+)
+
+// network is a resolved topology: exactly one routing backend is set
+// (router for DOR on a torus, gnet for min-hop on an explicit graph).
+type network struct {
+	label    string
+	vertices int
+	edges    int // undirected edges
+
+	router *route.Router // DOR backend
+	tor    *torus.Torus
+
+	gnet *graphNet // min-hop backend
+
+	// partition metadata (KindPartition only)
+	partition *bgq.Partition
+}
+
+// catalogMachine reports whether name is a built-in machine.
+func catalogMachine(name string) bool {
+	switch name {
+	case "mira", "juqueen", "sequoia", "juqueen48", "juqueen54":
+		return true
+	}
+	return false
+}
+
+// resolveMachine returns the catalog machine or a hypothetical one
+// built from an explicit midplane grid shape.
+func resolveMachine(name string) (*bgq.Machine, error) {
+	if catalogMachine(name) {
+		return experiments.DefaultMachines(name)
+	}
+	sh, err := torus.ParseShape(name)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: machine %q: %w", name, err)
+	}
+	m, err := bgq.NewMachine("custom "+sh.String(), sh)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: machine %q: %w", name, err)
+	}
+	return m, nil
+}
+
+// resolvePartition applies the spec's allocation policy to the
+// machine: the bgq geometry policies answer directly; the sched
+// placement policies place a single contention-bound job on the empty
+// machine (driving the same candidate enumeration and Choose path the
+// scheduler uses).
+func resolvePartition(t TopologySpec) (*bgq.Machine, bgq.Partition, error) {
+	m, err := resolveMachine(t.Machine)
+	if err != nil {
+		return nil, bgq.Partition{}, err
+	}
+	if t.Midplanes > m.Midplanes() {
+		return nil, bgq.Partition{}, fmt.Errorf("scenario: %d midplanes exceed %s's %d", t.Midplanes, m.Name, m.Midplanes())
+	}
+	switch t.Policy {
+	case PolicyPredefined, PolicyBestCase, PolicyWorstCase:
+		var pol bgq.Policy
+		switch t.Policy {
+		case PolicyPredefined:
+			pol = bgq.PredefinedPolicy{}
+		case PolicyBestCase:
+			pol = bgq.BestCasePolicy{}
+		default:
+			pol = bgq.WorstCasePolicy{}
+		}
+		p, err := pol.Select(m, t.Midplanes)
+		if err != nil {
+			return nil, bgq.Partition{}, fmt.Errorf("scenario: policy %s: %w", t.Policy, err)
+		}
+		return m, p, nil
+	case PolicyFirstFit, PolicyBestBisection, PolicyContentionAware:
+		var pol sched.PlacementPolicy
+		switch t.Policy {
+		case PolicyFirstFit:
+			pol = sched.FirstFit{}
+		case PolicyBestBisection:
+			pol = sched.BestBisection{}
+		default:
+			pol = sched.ContentionAware{}
+		}
+		grid := sched.NewGrid(m)
+		cands := grid.Candidates(t.Midplanes)
+		if len(cands) == 0 {
+			return nil, bgq.Partition{}, fmt.Errorf("scenario: no %d-midplane cuboid fits %s", t.Midplanes, m.Name)
+		}
+		// The single job is declared contention-bound: that is the
+		// regime the scenario measures, and it is what distinguishes
+		// contention-aware from first-fit.
+		job := sched.Job{Midplanes: t.Midplanes, BaseDurationSec: 1, ContentionBound: true}
+		return m, pol.Choose(job, cands).Partition(), nil
+	default:
+		return nil, bgq.Partition{}, fmt.Errorf("scenario: unknown policy %q", t.Policy)
+	}
+}
+
+// buildGraph constructs the explicit graph for the graph-family kinds
+// (and, for min-hop routing, the torus family too).
+func buildGraph(t TopologySpec) (*graph.Graph, string, error) {
+	switch t.Kind {
+	case KindMesh:
+		sh, err := torus.ParseShape(t.Shape)
+		if err != nil {
+			return nil, "", err
+		}
+		g, err := topo.Mesh2D(sh[0], sh[1])
+		return g, "mesh " + sh.String(), err
+	case KindClique:
+		sh, err := torus.ParseShape(t.Shape)
+		if err != nil {
+			return nil, "", err
+		}
+		var g *graph.Graph
+		if len(t.Weights) > 0 {
+			g, err = topo.WeightedCliqueProduct(sh, t.Weights)
+		} else {
+			g, err = topo.CliqueProduct(sh)
+		}
+		return g, "clique product " + sh.String(), err
+	case KindDragonfly:
+		sh, err := torus.ParseShape(t.GroupShape)
+		if err != nil {
+			return nil, "", err
+		}
+		g, err := topo.Dragonfly(topo.AriesConfig(t.Groups, sh))
+		return g, fmt.Sprintf("dragonfly %d groups of %s", t.Groups, sh), err
+	case KindHypercube:
+		g, err := topo.Hypercube(t.Dim)
+		return g, fmt.Sprintf("hypercube Q%d", t.Dim), err
+	case KindTorus:
+		tor, err := torus.New(mustShape(t.Shape)...)
+		if err != nil {
+			return nil, "", err
+		}
+		return topo.FromTorus(tor), "torus " + t.Shape, nil
+	default:
+		return nil, "", fmt.Errorf("scenario: kind %q has no graph form", t.Kind)
+	}
+}
+
+// mustShape parses a shape that Normalize already validated.
+func mustShape(s string) torus.Shape {
+	sh, err := torus.ParseShape(s)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: shape %q survived normalization: %v", s, err))
+	}
+	return sh
+}
+
+// resolve builds the routing backend for a normalized spec.
+func (s Spec) resolve() (*network, error) {
+	t := s.Topology
+	if s.Routing == RoutingDOR {
+		var tor *torus.Torus
+		var err error
+		var label string
+		var part *bgq.Partition
+		switch t.Kind {
+		case KindTorus:
+			tor, err = torus.New(mustShape(t.Shape)...)
+			label = "torus " + t.Shape
+		case KindHypercube:
+			dims := make([]int, t.Dim)
+			for i := range dims {
+				dims[i] = 2
+			}
+			tor, err = torus.New(dims...)
+			label = fmt.Sprintf("hypercube Q%d", t.Dim)
+		case KindPartition:
+			var p bgq.Partition
+			_, p, err = resolvePartition(t)
+			if err == nil {
+				part = &p
+				tor, err = torus.New(p.NodeShape()...)
+				label = fmt.Sprintf("partition %s of %s", p, t.Machine)
+			}
+		default:
+			err = fmt.Errorf("scenario: routing dor on non-torus kind %q", t.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &network{
+			label:     label,
+			vertices:  tor.NumVertices(),
+			edges:     tor.NumEdges(),
+			router:    route.NewRouter(tor),
+			tor:       tor,
+			partition: part,
+		}, nil
+	}
+
+	var g *graph.Graph
+	var label string
+	var part *bgq.Partition
+	if t.Kind == KindPartition {
+		// Resolve the policy once; the explicit graph is the node-level
+		// torus of the selected partition.
+		_, p, err := resolvePartition(t)
+		if err != nil {
+			return nil, err
+		}
+		tor, err := torus.New(p.NodeShape()...)
+		if err != nil {
+			return nil, err
+		}
+		g, label, part = topo.FromTorus(tor), fmt.Sprintf("partition %s of %s", p, t.Machine), &p
+	} else {
+		var err error
+		g, label, err = buildGraph(t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	gn := newGraphNet(g)
+	return &network{
+		label:     label,
+		vertices:  g.N(),
+		edges:     gn.numEdges,
+		gnet:      gn,
+		partition: part,
+	}, nil
+}

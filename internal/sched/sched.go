@@ -120,6 +120,16 @@ func (p Placement) Partition() bgq.Partition {
 	return part
 }
 
+// Candidates enumerates every feasible placement of a midplane count
+// on the current occupancy, in deterministic order: geometries
+// (canonical order), then length assignments, then origins
+// (lexicographic). It is the seam the scenario layer uses to drive
+// the placement policies outside a full scheduling run (policy
+// selection for a single job on an empty machine).
+func (g *Grid) Candidates(midplanes int) []Placement {
+	return g.candidates(midplanes)
+}
+
 // candidates enumerates every feasible placement of a midplane count,
 // in deterministic order: geometries (canonical order), then length
 // assignments, then origins (lexicographic).

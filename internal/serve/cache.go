@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,13 +16,24 @@ import (
 // options that can change its bytes. Keys are built from normalized
 // options (Experiment.Normalize), so the worker count and irrelevant
 // FullRounds flags never fragment the cache: two requests with the
-// same Key are guaranteed byte-identical encodings. The key space is
-// tiny by construction (14 experiments, FullRounds meaningful for
-// two), so the cache needs no eviction.
+// same Key are guaranteed byte-identical encodings.
+//
+// Dynamic experiments (user-defined scenarios and sweeps) use the
+// same key space: their IDs are content hashes of the normalized
+// definition ("scenario:<hash>", "sweep:<hash>"), so the ID alone is
+// the result identity and FullRounds stays false. Registry keys are
+// bounded by construction and never evicted; dynamic keys are
+// unbounded under sustained traffic, so the cache retains at most
+// maxDynamicEntries of them (oldest-insertion eviction).
 type Key struct {
 	ID         string
 	FullRounds bool
 }
+
+// dynamic reports whether the key belongs to a user-defined
+// experiment. Dynamic IDs always contain a ':', registry IDs never
+// do.
+func (k Key) dynamic() bool { return strings.ContainsRune(k.ID, ':') }
 
 func keyFor(exp netpart.Experiment, opts netpart.RunOptions) Key {
 	n := exp.Normalize(opts)
@@ -29,8 +41,11 @@ func keyFor(exp netpart.Experiment, opts netpart.RunOptions) Key {
 }
 
 // String renders the key in the canonical query form the API
-// documents ("figure3?full_rounds=true").
+// documents ("figure3?full_rounds=true"); dynamic keys are their ID.
 func (k Key) String() string {
+	if k.dynamic() {
+		return k.ID
+	}
 	return fmt.Sprintf("%s?full_rounds=%t", k.ID, k.FullRounds)
 }
 
@@ -86,10 +101,27 @@ func (e *entry) encoding(ct string) (*encoding, error) {
 	return enc, nil
 }
 
+// streamEvent is one event published to a flight's waiters: progress
+// reports for every experiment, plus per-point completions for
+// sweeps. The name is the SSE event name; data is its JSON payload.
+type streamEvent struct {
+	name string
+	data any
+}
+
+// progressEvent wraps a progress report for publication.
+func progressEvent(p netpart.Progress) streamEvent {
+	return streamEvent{name: "progress", data: p}
+}
+
 // runFunc executes one experiment for the cache: it is called at most
 // once per flight, on a context detached from any single request, and
-// publishes progress for every waiter coalesced onto the flight.
-type runFunc func(ctx context.Context, key Key, opts netpart.RunOptions, publish func(netpart.Progress)) (*netpart.Result, error)
+// publishes events for every waiter coalesced onto the flight. For
+// dynamic keys, payload carries the parsed definition (the normalized
+// scenario spec or sweep task) supplied by the flight's first
+// requester; coalesced joiners' payloads are ignored, which is sound
+// because the key is a content hash of the definition.
+type runFunc func(ctx context.Context, key Key, opts netpart.RunOptions, payload any, publish func(streamEvent)) (*netpart.Result, error)
 
 // flight is one in-progress computation that concurrent identical
 // requests coalesce onto. Waiters attach and detach; when the last
@@ -97,9 +129,10 @@ type runFunc func(ctx context.Context, key Key, opts netpart.RunOptions, publish
 // canceled so the work stops promptly. Errors (including
 // cancellation) are never cached — the next request starts fresh.
 type flight struct {
-	key    Key
-	done   chan struct{} // closed when entry/err are set
-	cancel context.CancelFunc
+	key     Key
+	payload any           // dynamic-run definition from the first requester
+	done    chan struct{} // closed when entry/err are set
+	cancel  context.CancelFunc
 
 	// guarded by cache.mu until done is closed, immutable after
 	waiters int
@@ -108,14 +141,14 @@ type flight struct {
 	err   error
 
 	subMu sync.Mutex
-	subs  map[int]func(netpart.Progress)
+	subs  map[int]func(streamEvent)
 	nsub  int
 }
 
-// subscribe registers a per-waiter progress sink and returns its
+// subscribe registers a per-waiter event sink and returns its
 // unsubscribe function. Sinks must not block: they run on the
 // runner's serialized progress path.
-func (f *flight) subscribe(fn func(netpart.Progress)) func() {
+func (f *flight) subscribe(fn func(streamEvent)) func() {
 	if fn == nil {
 		return func() {}
 	}
@@ -131,29 +164,35 @@ func (f *flight) subscribe(fn func(netpart.Progress)) func() {
 	}
 }
 
-func (f *flight) publish(p netpart.Progress) {
+func (f *flight) publish(ev streamEvent) {
 	f.subMu.Lock()
-	sinks := make([]func(netpart.Progress), 0, len(f.subs))
+	sinks := make([]func(streamEvent), 0, len(f.subs))
 	for _, fn := range f.subs {
 		sinks = append(sinks, fn)
 	}
 	f.subMu.Unlock()
 	for _, fn := range sinks {
-		fn(p)
+		fn(ev)
 	}
 }
 
+// maxDynamicEntries bounds the cached results of dynamic (scenario /
+// sweep) keys; registry keys are never evicted.
+const maxDynamicEntries = 256
+
 // cache is the coalescing result cache: completed results by Key,
 // plus the in-flight runs identical requests join instead of
-// recomputing. Completed entries live forever (the normalized key
-// space is bounded); failed flights evaporate.
+// recomputing. Completed registry entries live forever (that key
+// space is bounded); dynamic entries are evicted oldest-first past
+// maxDynamicEntries; failed flights evaporate.
 type cache struct {
 	run     runFunc
 	timeout time.Duration // per-flight run deadline, 0 = none
 
-	mu      sync.Mutex
-	entries map[Key]*entry
-	flights map[Key]*flight
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	flights  map[Key]*flight
+	dynOrder []Key // dynamic keys in insertion order, for eviction
 }
 
 func newCache(run runFunc, timeout time.Duration) *cache {
@@ -174,12 +213,13 @@ func (c *cache) cached(key Key) (*entry, bool) {
 }
 
 // do returns the entry for key, starting a run or joining the
-// in-flight one. onProgress (optional) receives the flight's progress
-// while this caller waits. When ctx is canceled the caller abandons
-// the flight; the run itself is canceled only when its last waiter
-// has abandoned it, so one impatient client cannot kill a result
-// others still want.
-func (c *cache) do(ctx context.Context, key Key, opts netpart.RunOptions, onProgress func(netpart.Progress)) (*entry, error) {
+// in-flight one. onEvent (optional) receives the flight's events
+// while this caller waits; payload carries the parsed definition for
+// dynamic keys (ignored when joining an existing flight). When ctx is
+// canceled the caller abandons the flight; the run itself is canceled
+// only when its last waiter has abandoned it, so one impatient client
+// cannot kill a result others still want.
+func (c *cache) do(ctx context.Context, key Key, opts netpart.RunOptions, payload any, onEvent func(streamEvent)) (*entry, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
@@ -195,10 +235,11 @@ func (c *cache) do(ctx context.Context, key Key, opts netpart.RunOptions, onProg
 			fctx, cancel = context.WithCancel(fctx)
 		}
 		f = &flight{
-			key:    key,
-			done:   make(chan struct{}),
-			cancel: cancel,
-			subs:   map[int]func(netpart.Progress){},
+			key:     key,
+			payload: payload,
+			done:    make(chan struct{}),
+			cancel:  cancel,
+			subs:    map[int]func(streamEvent){},
 		}
 		c.flights[key] = f
 		go c.runFlight(f, fctx, opts)
@@ -206,7 +247,7 @@ func (c *cache) do(ctx context.Context, key Key, opts netpart.RunOptions, onProg
 	f.waiters++
 	c.mu.Unlock()
 
-	unsubscribe := f.subscribe(onProgress)
+	unsubscribe := f.subscribe(onEvent)
 	defer unsubscribe()
 
 	select {
@@ -241,10 +282,17 @@ func (c *cache) abandon(f *flight) {
 }
 
 func (c *cache) runFlight(f *flight, ctx context.Context, opts netpart.RunOptions) {
-	res, err := c.run(ctx, f.key, opts, f.publish)
+	res, err := c.run(ctx, f.key, opts, f.payload, f.publish)
 	c.mu.Lock()
 	if err == nil {
 		f.entry = &entry{res: res, encs: map[string]*encoding{}}
+		if _, present := c.entries[f.key]; !present && f.key.dynamic() {
+			c.dynOrder = append(c.dynOrder, f.key)
+			for len(c.dynOrder) > maxDynamicEntries {
+				delete(c.entries, c.dynOrder[0])
+				c.dynOrder = c.dynOrder[1:]
+			}
+		}
 		c.entries[f.key] = f.entry
 	}
 	f.err = err

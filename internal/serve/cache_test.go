@@ -19,7 +19,7 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 	key := Key{ID: "table5"}
 	var calls atomic.Int32
 	release := make(chan struct{})
-	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ func(netpart.Progress)) (*netpart.Result, error) {
+	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
 		calls.Add(1)
 		<-release
 		return fakeResult(k), nil
@@ -35,7 +35,7 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			started.Done()
-			e, err := c.do(context.Background(), key, netpart.RunOptions{}, nil)
+			e, err := c.do(context.Background(), key, netpart.RunOptions{}, nil, nil)
 			if err != nil {
 				t.Error(err)
 			}
@@ -53,7 +53,7 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 			t.Fatal("waiters observed different entries")
 		}
 	}
-	if e, err := c.do(context.Background(), key, netpart.RunOptions{}, nil); err != nil || e != entries[0] || calls.Load() != 1 {
+	if e, err := c.do(context.Background(), key, netpart.RunOptions{}, nil, nil); err != nil || e != entries[0] || calls.Load() != 1 {
 		t.Fatal("warm hit reran the experiment")
 	}
 }
@@ -63,17 +63,17 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 func TestCacheErrorsAreNotCached(t *testing.T) {
 	var calls atomic.Int32
 	boom := errors.New("boom")
-	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ func(netpart.Progress)) (*netpart.Result, error) {
+	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
 		if calls.Add(1) == 1 {
 			return nil, boom
 		}
 		return fakeResult(k), nil
 	}, 0)
 	key := Key{ID: "table1"}
-	if _, err := c.do(context.Background(), key, netpart.RunOptions{}, nil); !errors.Is(err, boom) {
+	if _, err := c.do(context.Background(), key, netpart.RunOptions{}, nil, nil); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	if _, err := c.do(context.Background(), key, netpart.RunOptions{}, nil); err != nil {
+	if _, err := c.do(context.Background(), key, netpart.RunOptions{}, nil, nil); err != nil {
 		t.Fatalf("retry err = %v", err)
 	}
 	if calls.Load() != 2 {
@@ -93,9 +93,9 @@ func TestCacheLastWaiterCancelsRun(t *testing.T) {
 	ctxB, cancelB := context.WithCancel(context.Background())
 	defer cancelB()
 	errs := make(chan error, 2)
-	go func() { _, err := c.do(ctxA, key, netpart.RunOptions{}, nil); errs <- err }()
+	go func() { _, err := c.do(ctxA, key, netpart.RunOptions{}, nil, nil); errs <- err }()
 	info := g.next(t)
-	go func() { _, err := c.do(ctxB, key, netpart.RunOptions{}, nil); errs <- err }()
+	go func() { _, err := c.do(ctxB, key, netpart.RunOptions{}, nil, nil); errs <- err }()
 	waitFor(t, func() bool {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -128,7 +128,7 @@ func TestCacheLastWaiterCancelsRun(t *testing.T) {
 	// The key is clean: a new request starts a new flight.
 	done := make(chan struct{})
 	go func() {
-		if _, err := c.do(context.Background(), key, netpart.RunOptions{}, nil); err != nil {
+		if _, err := c.do(context.Background(), key, netpart.RunOptions{}, nil, nil); err != nil {
 			t.Error(err)
 		}
 		close(done)
@@ -143,11 +143,11 @@ func TestCacheLastWaiterCancelsRun(t *testing.T) {
 // TestCacheRunTimeout: a flight exceeding the cache's run timeout
 // fails with DeadlineExceeded and is not cached.
 func TestCacheRunTimeout(t *testing.T) {
-	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ func(netpart.Progress)) (*netpart.Result, error) {
+	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}, 10*time.Millisecond)
-	if _, err := c.do(context.Background(), Key{ID: "figure3"}, netpart.RunOptions{}, nil); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := c.do(context.Background(), Key{ID: "figure3"}, netpart.RunOptions{}, nil, nil); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
 	if _, ok := c.cached(Key{ID: "figure3"}); ok {

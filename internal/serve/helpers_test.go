@@ -32,8 +32,11 @@ type runInfo struct {
 	ctx     context.Context
 	key     Key
 	opts    netpart.RunOptions
+	payload any
 	publish func(netpart.Progress)
-	proceed chan struct{}
+	// publishRaw emits an arbitrary stream event (sweep point tests).
+	publishRaw func(streamEvent)
+	proceed    chan struct{}
 }
 
 // gate is a controllable runFunc: every invocation parks on its
@@ -47,9 +50,12 @@ func newGate() *gate {
 	return &gate{started: make(chan *runInfo, 64)}
 }
 
-func (g *gate) run(ctx context.Context, key Key, opts netpart.RunOptions, publish func(netpart.Progress)) (*netpart.Result, error) {
+func (g *gate) run(ctx context.Context, key Key, opts netpart.RunOptions, payload any, publish func(streamEvent)) (*netpart.Result, error) {
 	g.calls.Add(1)
-	info := &runInfo{ctx: ctx, key: key, opts: opts, publish: publish, proceed: make(chan struct{})}
+	info := &runInfo{ctx: ctx, key: key, opts: opts, payload: payload,
+		publish:    func(p netpart.Progress) { publish(progressEvent(p)) },
+		publishRaw: publish,
+		proceed:    make(chan struct{})}
 	g.started <- info
 	select {
 	case <-info.proceed:
@@ -229,7 +235,11 @@ func readSSE(t *testing.T, r io.Reader, max int) []sseEvent {
 func openSSE(t *testing.T, ts *httptest.Server, id string) (io.ReadCloser, context.CancelFunc) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
-	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/v1/runs/%s/events", ts.URL, id), nil)
+	path := "runs/" + id
+	if strings.Contains(id, "/") { // caller passed an explicit namespace
+		path = id
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/v1/%s/events", ts.URL, path), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

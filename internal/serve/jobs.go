@@ -30,12 +30,20 @@ const (
 // errShutdown rejects submissions during drain.
 var errShutdown = errors.New("serve: shutting down")
 
-// Job is one submitted run: a handle with its own identity, progress
-// feed and cancellation, even when its computation is coalesced with
-// other jobs onto a single flight.
+// Job kinds: registry experiment runs and scenario sweeps share the
+// job machinery but live under different URL namespaces.
+const (
+	JobRun   = "run"
+	JobSweep = "sweep"
+)
+
+// Job is one submitted run or sweep: a handle with its own identity,
+// event feed and cancellation, even when its computation is coalesced
+// with other jobs onto a single flight.
 type Job struct {
 	ID         string
-	Experiment netpart.Experiment
+	Kind       string             // JobRun or JobSweep
+	Experiment netpart.Experiment // synthesized descriptor for sweeps
 	Opts       netpart.RunOptions // as submitted
 	Key        Key                // normalized cache identity
 	Created    time.Time
@@ -49,8 +57,16 @@ type Job struct {
 	entry    *entry
 	latest   netpart.Progress
 	reported bool // latest is meaningful
-	subs     map[int]chan netpart.Progress
+	subs     map[int]chan streamEvent
 	nsub     int
+}
+
+// path returns the job's URL path under /v1.
+func (j *Job) path() string {
+	if j.Kind == JobSweep {
+		return "/v1/sweeps/" + j.ID
+	}
+	return "/v1/runs/" + j.ID
 }
 
 // Snapshot returns the job's current status, last progress report
@@ -75,30 +91,34 @@ func (j *Job) Cancel() { j.cancel() }
 // Done is closed when the job reaches a terminal status.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// publish records the latest progress and fans it out to subscribers
-// without blocking: a slow SSE consumer drops intermediate reports
-// (progress is monotone, so the latest one subsumes them).
-func (j *Job) publish(p netpart.Progress) {
+// publish records the latest progress and fans events out to
+// subscribers without blocking: a slow SSE consumer drops
+// intermediate events (progress is monotone, so the latest report
+// subsumes the dropped ones; a dropped sweep point is still present
+// in the final result, the stream is a monitor, not the record).
+func (j *Job) publish(ev streamEvent) {
 	j.mu.Lock()
-	j.latest = p
-	j.reported = true
-	chans := make([]chan netpart.Progress, 0, len(j.subs))
+	if p, ok := ev.data.(netpart.Progress); ok {
+		j.latest = p
+		j.reported = true
+	}
+	chans := make([]chan streamEvent, 0, len(j.subs))
 	for _, ch := range j.subs {
 		chans = append(chans, ch)
 	}
 	j.mu.Unlock()
 	for _, ch := range chans {
 		select {
-		case ch <- p:
+		case ch <- ev:
 		default:
 		}
 	}
 }
 
-// subscribe registers a progress channel; the returned function
+// subscribe registers an event channel; the returned function
 // unsubscribes it. The channel is buffered and lossy (see publish).
-func (j *Job) subscribe() (<-chan netpart.Progress, func()) {
-	ch := make(chan netpart.Progress, 16)
+func (j *Job) subscribe() (<-chan streamEvent, func()) {
+	ch := make(chan streamEvent, 64)
 	j.mu.Lock()
 	id := j.nsub
 	j.nsub++
@@ -183,26 +203,30 @@ func (m *jobManager) pruneLocked() {
 	m.order = kept
 }
 
-// submit creates a job and starts it asynchronously.
-func (m *jobManager) submit(exp netpart.Experiment, opts netpart.RunOptions) (*Job, error) {
+// submit creates a job and starts it asynchronously. For registry
+// runs (JobRun) the key derives from the experiment and options; for
+// sweeps (JobSweep) the caller supplies the content-hash key and the
+// parsed definition as payload.
+func (m *jobManager) submit(kind string, exp netpart.Experiment, key Key, opts netpart.RunOptions, payload any) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, errShutdown
 	}
 	m.seq++
-	id := fmt.Sprintf("run-%06d", m.seq)
+	id := fmt.Sprintf("%s-%06d", kind, m.seq)
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	job := &Job{
 		ID:         id,
+		Kind:       kind,
 		Experiment: exp,
 		Opts:       opts,
-		Key:        keyFor(exp, opts),
+		Key:        key,
 		Created:    time.Now(),
 		cancel:     cancel,
 		done:       make(chan struct{}),
 		status:     StatusRunning,
-		subs:       map[int]chan netpart.Progress{},
+		subs:       map[int]chan streamEvent{},
 	}
 	m.jobs[id] = job
 	m.order = append(m.order, id)
@@ -213,7 +237,7 @@ func (m *jobManager) submit(exp netpart.Experiment, opts netpart.RunOptions) (*J
 	go func() {
 		defer m.wg.Done()
 		defer cancel()
-		e, err := m.cache.do(ctx, job.Key, opts, job.publish)
+		e, err := m.cache.do(ctx, job.Key, opts, payload, job.publish)
 		job.finish(e, err)
 	}()
 	return job, nil

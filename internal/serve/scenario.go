@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+
+	"netpart"
+	"netpart/internal/scenario/sweep"
+)
+
+// --- healthz ---
+
+// healthDoc is the GET /v1/healthz response: a real readiness probe
+// (the handler answers only once the mux and cache are wired) plus
+// version/build info for fleet debugging.
+type healthDoc struct {
+	Status      string `json:"status"`
+	Service     string `json:"service"`
+	Version     string `json:"version"`
+	Revision    string `json:"revision,omitempty"`
+	GoVersion   string `json:"go"`
+	Experiments int    `json:"experiments"`
+}
+
+// handleHealthz serves readiness and build identity.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	doc := healthDoc{
+		Status:      "ok",
+		Service:     "netpartd",
+		Version:     "(devel)",
+		GoVersion:   runtime.Version(),
+		Experiments: len(netpart.Registry()),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Version != "" {
+			doc.Version = info.Main.Version
+		}
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				doc.Revision = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// --- scenarios (synchronous) ---
+
+// maxScenarioBody bounds the POST /v1/scenarios request body.
+const maxScenarioBody = 1 << 20
+
+// handleScenario runs one user-defined scenario synchronously through
+// the coalescing cache: the body is the scenario spec, the response
+// the negotiated Result encoding with a strong ETag. Identical
+// concurrent requests (same normalized spec) coalesce onto one run;
+// hot specs answer from memory.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxScenarioBody))
+	dec.DisallowUnknownFields()
+	var spec netpart.ScenarioSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad scenario body: %v", err)
+		return
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts, err := parseRunOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.cache.do(r.Context(), Key{ID: norm.ID()}, opts, norm, nil)
+	switch {
+	case err == nil:
+		writeEntry(w, r, e)
+	case errors.Is(err, context.Canceled):
+		writeError(w, 499, "canceled")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "run exceeded the server's run timeout")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// runScenario executes one scenario flight: admission for the
+// scenario's derived cost class, then RunScenario on a fresh Runner.
+func (s *Server) runScenario(ctx context.Context, key Key, opts netpart.RunOptions, payload any, publish func(streamEvent)) (*netpart.Result, error) {
+	spec, ok := payload.(netpart.ScenarioSpec)
+	if !ok {
+		return nil, errors.New("serve: scenario flight without a spec payload")
+	}
+	release, err := s.acquire(ctx, netpart.Cost(spec.Cost()))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+	progress := func(p netpart.Progress) { publish(progressEvent(p)) }
+	runner := netpart.NewRunner(netpart.WithWorkers(workers), netpart.WithProgress(progress))
+	return runner.RunScenario(ctx, spec)
+}
+
+// --- sweeps (asynchronous jobs) ---
+
+// maxSweepBody bounds the POST /v1/sweeps request body (grids carry
+// axis value lists, so they get more room than single runs).
+const maxSweepBody = 4 << 20
+
+// sweepTask is the parsed definition a sweep flight executes. The
+// expanded points ride along so admission cost and the content-hash
+// ID are computed once at submission.
+type sweepTask struct {
+	grid   netpart.SweepGrid
+	points []sweep.Point
+}
+
+// handleSweepSubmit accepts a parameter-grid sweep: the body is the
+// grid document, the response 202 with the job document and Location.
+// The grid is expanded (and therefore fully validated) before the job
+// is created; identical concurrent submissions — grids expanding to
+// the same points — coalesce onto one execution while keeping
+// distinct job identities.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
+	dec.DisallowUnknownFields()
+	var grid netpart.SweepGrid
+	if err := dec.Decode(&grid); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep body: %v", err)
+		return
+	}
+	points, err := grid.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	exp := netpart.Experiment{
+		ID:    sweep.ID(grid.Name, points),
+		Title: grid.Title(),
+		Kind:  netpart.KindTable,
+		Cost:  netpart.Cost(sweep.Cost(points)),
+	}
+	job, err := s.jobs.submit(JobSweep, exp, Key{ID: exp.ID}, netpart.RunOptions{}, &sweepTask{grid: grid, points: points})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.Header().Set("Location", job.path())
+	writeJSON(w, http.StatusAccepted, jobDocFor(job))
+}
+
+// handleSweep serves a sweep job: the status document (including the
+// latest per-point progress) while running, the negotiated result
+// once done.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.lookup(r.PathValue("id"))
+	if !ok || job.Kind != JobSweep {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	if e := job.Entry(); e != nil {
+		w.Header().Set("X-Netpart-Run", job.ID)
+		writeEntry(w, r, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobDocFor(job))
+}
+
+// handleSweepCancel cancels a sweep job (idempotent); the underlying
+// execution stops once no other job still wants its result.
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.lookup(r.PathValue("id"))
+	if !ok || job.Kind != JobSweep {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, jobDocFor(job))
+}
+
+// runSweep executes one sweep flight: admission for the point-count
+// derived cost class, then RunSweep on a fresh Runner with per-point
+// streaming into the flight's event feed.
+func (s *Server) runSweep(ctx context.Context, key Key, opts netpart.RunOptions, payload any, publish func(streamEvent)) (*netpart.Result, error) {
+	task, ok := payload.(*sweepTask)
+	if !ok {
+		return nil, errors.New("serve: sweep flight without a grid payload")
+	}
+	release, err := s.acquire(ctx, netpart.Cost(sweep.Cost(task.points)))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+	progress := func(p netpart.Progress) { publish(progressEvent(p)) }
+	runner := netpart.NewRunner(netpart.WithWorkers(workers), netpart.WithProgress(progress))
+	onPoint := func(p netpart.SweepPoint) { publish(streamEvent{name: "point", data: p}) }
+	return runner.RunSweep(ctx, task.grid, onPoint)
+}

@@ -20,12 +20,26 @@
 //
 // Endpoints (all under /v1, JSON unless negotiated otherwise):
 //
+//	GET    /v1/healthz                     readiness + version/build info
 //	GET    /v1/experiments                 registry, ?kind= and ?cost= filters
 //	GET    /v1/experiments/{id}/result     run synchronously (cache + coalesce)
 //	POST   /v1/runs                        submit an asynchronous run
 //	GET    /v1/runs/{id}                   status; when done, the result
 //	DELETE /v1/runs/{id}                   cancel a run
 //	GET    /v1/runs/{id}/events            SSE progress stream
+//	POST   /v1/scenarios                   run a user-defined scenario synchronously
+//	POST   /v1/sweeps                      submit a parameter-grid sweep
+//	GET    /v1/sweeps/{id}                 status; when done, the result
+//	DELETE /v1/sweeps/{id}                 cancel a sweep
+//	GET    /v1/sweeps/{id}/events          SSE progress + per-point stream
+//
+// Scenarios and sweeps are the dynamic side of the API: the request
+// body declares a (topology × workload × policy) experiment or a
+// parameter grid of them (see internal/scenario and
+// internal/scenario/sweep), and the same coalescing cache and
+// per-cost-class admission apply — the scenario's cost class derives
+// from its size, a sweep's from its point count, so a hundred-point
+// sweep never starves cheap registry artifacts.
 //
 // Result endpoints negotiate application/json (default), text/csv and
 // text/markdown via Accept or ?format=, and carry strong ETags: the
@@ -117,7 +131,7 @@ func newServer(opts Options, run runFunc) *Server {
 		s.sems[cost] = make(chan struct{}, n)
 	}
 	if run == nil {
-		run = s.runExperiment
+		run = s.runTask
 	}
 	timeout := opts.RunTimeout
 	if timeout < 0 {
@@ -127,12 +141,18 @@ func newServer(opts Options, run runFunc) *Server {
 	s.jobs = newJobManager(s.cache)
 
 	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleSyncResult)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents(JobRun))
+	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenario)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents(JobSweep))
 	return s
 }
 
@@ -160,11 +180,26 @@ func (s *Server) acquire(ctx context.Context, cost netpart.Cost) (release func()
 	}
 }
 
-// runExperiment executes one flight: admission slot for the
+// runTask executes one flight, dispatching on the key's namespace:
+// registry experiments, user-defined scenarios, and sweeps all take
+// an admission slot for their cost class first, then run on a fresh
+// Runner with the flight's options.
+func (s *Server) runTask(ctx context.Context, key Key, opts netpart.RunOptions, payload any, publish func(streamEvent)) (*netpart.Result, error) {
+	switch {
+	case strings.HasPrefix(key.ID, "scenario:"):
+		return s.runScenario(ctx, key, opts, payload, publish)
+	case strings.HasPrefix(key.ID, "sweep:"):
+		return s.runSweep(ctx, key, opts, payload, publish)
+	default:
+		return s.runExperiment(ctx, key, opts, publish)
+	}
+}
+
+// runExperiment executes one registry flight: admission slot for the
 // experiment's cost class, then a fresh Runner with the flight's
 // options (FullRounds from the normalized key, workers from the
 // leading request or the server default).
-func (s *Server) runExperiment(ctx context.Context, key Key, opts netpart.RunOptions, publish func(netpart.Progress)) (*netpart.Result, error) {
+func (s *Server) runExperiment(ctx context.Context, key Key, opts netpart.RunOptions, publish func(streamEvent)) (*netpart.Result, error) {
 	exp, ok := netpart.Lookup(key.ID)
 	if !ok {
 		return nil, fmt.Errorf("serve: no experiment %q", key.ID)
@@ -181,7 +216,8 @@ func (s *Server) runExperiment(ctx context.Context, key Key, opts netpart.RunOpt
 	if run.Workers <= 0 {
 		run.Workers = s.opts.Workers
 	}
-	runner := netpart.NewRunner(append(run.Options(), netpart.WithProgress(publish))...)
+	progress := func(p netpart.Progress) { publish(progressEvent(p)) }
+	runner := netpart.NewRunner(append(run.Options(), netpart.WithProgress(progress))...)
 	return runner.Run(ctx, key.ID)
 }
 
@@ -233,8 +269,8 @@ func jobDocFor(j *Job) jobDoc {
 		Options:    j.Opts,
 		Key:        j.Key.String(),
 		Links: map[string]string{
-			"self":   "/v1/runs/" + j.ID,
-			"events": "/v1/runs/" + j.ID + "/events",
+			"self":   j.path(),
+			"events": j.path() + "/events",
 		},
 	}
 	if reported {
@@ -466,7 +502,7 @@ func (s *Server) handleSyncResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, err := s.cache.do(r.Context(), keyFor(exp, opts), opts, nil)
+	e, err := s.cache.do(r.Context(), keyFor(exp, opts), opts, nil, nil)
 	switch {
 	case err == nil:
 		writeEntry(w, r, e)
@@ -512,7 +548,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad workers %d", req.Workers)
 		return
 	}
-	job, err := s.jobs.submit(exp, netpart.RunOptions{Workers: req.Workers, FullRounds: req.FullRounds})
+	runOpts := netpart.RunOptions{Workers: req.Workers, FullRounds: req.FullRounds}
+	job, err := s.jobs.submit(JobRun, exp, keyFor(exp, runOpts), runOpts, nil)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -527,7 +564,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // ETags.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.lookup(r.PathValue("id"))
-	if !ok {
+	if !ok || job.Kind != JobRun {
 		writeError(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
 		return
 	}
@@ -543,7 +580,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // once no other job or request still wants its result.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.lookup(r.PathValue("id"))
-	if !ok {
+	if !ok || job.Kind != JobRun {
 		writeError(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
 		return
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"netpart"
 )
 
 // sseHeartbeat is the idle-comment interval keeping proxies from
@@ -50,19 +52,30 @@ func (s *sseWriter) comment() error {
 //	event: progress  every progress report (lossy under backpressure:
 //	                 intermediate reports may be dropped, the stream
 //	                 stays monotone)
+//	event: point     every completed sweep point (sweep jobs only;
+//	                 lossy under backpressure — the final result
+//	                 always carries every point)
 //	event: done      terminal snapshot (status done/failed/canceled),
 //	                 then the stream closes
 //
 // Progress data carries the per-run token (netpart.Progress.Run), so
 // a consumer multiplexing several streams of the same experiment can
 // still tell the underlying runs apart. Disconnecting only detaches
-// the stream; it does not cancel the job (DELETE /v1/runs/{id} does).
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.jobs.lookup(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
-		return
+// the stream; it does not cancel the job (DELETE does).
+func (s *Server) handleEvents(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.jobs.lookup(r.PathValue("id"))
+		if !ok || job.Kind != kind {
+			writeError(w, http.StatusNotFound, "no %s %q", kind, r.PathValue("id"))
+			return
+		}
+		s.streamJob(w, r, job)
 	}
+}
+
+// streamJob writes a job's event stream until the job ends or the
+// client disconnects.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
@@ -82,16 +95,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	defer heartbeat.Stop()
 	for {
 		select {
-		case p := <-sub:
-			if err := out.event("progress", progressFor(p)); err != nil {
+		case ev := <-sub:
+			if err := out.event(ev.name, eventDoc(ev)); err != nil {
 				return
 			}
 		case <-job.Done():
-			// Drain progress that raced the terminal status, then close.
+			// Drain events that raced the terminal status, then close.
 			for {
 				select {
-				case p := <-sub:
-					if out.event("progress", progressFor(p)) != nil {
+				case ev := <-sub:
+					if out.event(ev.name, eventDoc(ev)) != nil {
 						return
 					}
 					continue
@@ -109,4 +122,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// eventDoc converts a stream event's payload to its wire document.
+func eventDoc(ev streamEvent) any {
+	if p, ok := ev.data.(netpart.Progress); ok {
+		return progressFor(p)
+	}
+	return ev.data
 }

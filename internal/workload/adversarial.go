@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"netpart/internal/route"
@@ -17,9 +18,15 @@ import (
 //
 // iters bounds the number of swap attempts; the search is
 // deterministic for a fixed seed.
-func NearWorstCase(t *torus.Torus, bytes float64, iters int, seed int64) []route.Demand {
-	r := route.NewRouter(t)
+func NearWorstCase(t *torus.Torus, bytes float64, iters int, seed int64) ([]route.Demand, error) {
 	n := t.NumVertices()
+	if err := validate("near-worst-case", n, MaxNodes, bytes); err != nil {
+		return nil, err
+	}
+	if iters < 0 {
+		return nil, fmt.Errorf("workload: near-worst-case: negative iteration bound %d", iters)
+	}
+	r := route.NewRouter(t)
 	rng := rand.New(rand.NewSource(seed))
 
 	// dst[i] = destination of node i; start from the antipodal pairing.
@@ -75,5 +82,5 @@ func NearWorstCase(t *torus.Torus, bytes float64, iters int, seed int64) []route
 			demands = append(demands, route.Demand{Src: v, Dst: dst[v], Bytes: bytes})
 		}
 	}
-	return demands
+	return demands, nil
 }

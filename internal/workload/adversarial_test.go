@@ -10,7 +10,7 @@ import (
 
 func TestNearWorstCaseIsPermutation(t *testing.T) {
 	tor := torus.MustNew(4, 4, 2)
-	d := NearWorstCase(tor, 7, 200, 1)
+	d := demandsOrFatal(t)(NearWorstCase(tor, 7, 200, 1))
 	seenSrc := map[int]bool{}
 	seenDst := map[int]bool{}
 	for _, dm := range d {
@@ -33,9 +33,9 @@ func TestNearWorstCaseAtLeastPairing(t *testing.T) {
 	// can only grow.
 	tor := torus.MustNew(8, 4, 4)
 	r := route.NewRouter(tor)
-	pairing := BisectionPairing(r, 1)
+	pairing := demandsOrFatal(t)(BisectionPairing(r, 1))
 	base, _ := route.MaxLoad(r.LoadMap(pairing))
-	adv := NearWorstCase(tor, 1, 500, 3)
+	adv := demandsOrFatal(t)(NearWorstCase(tor, 1, 500, 3))
 	got, _ := route.MaxLoad(r.LoadMap(adv))
 	if got < base {
 		t.Errorf("adversarial load %v below pairing %v", got, base)
@@ -45,11 +45,11 @@ func TestNearWorstCaseAtLeastPairing(t *testing.T) {
 func TestNearWorstCaseBeatsRandomPermutations(t *testing.T) {
 	tor := torus.MustNew(6, 4, 2)
 	r := route.NewRouter(tor)
-	adv := NearWorstCase(tor, 1, 1000, 7)
+	adv := demandsOrFatal(t)(NearWorstCase(tor, 1, 1000, 7))
 	advLoad, _ := route.MaxLoad(r.LoadMap(adv))
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 5; trial++ {
-		perm := RandomPermutation(tor, 1, rng)
+		perm := demandsOrFatal(t)(RandomPermutation(tor, 1, rng))
 		load, _ := route.MaxLoad(r.LoadMap(perm))
 		if load > advLoad {
 			t.Errorf("random permutation load %v beats adversarial %v", load, advLoad)
@@ -59,8 +59,8 @@ func TestNearWorstCaseBeatsRandomPermutations(t *testing.T) {
 
 func TestNearWorstCaseDeterministic(t *testing.T) {
 	tor := torus.MustNew(4, 4)
-	a := NearWorstCase(tor, 1, 300, 42)
-	b := NearWorstCase(tor, 1, 300, 42)
+	a := demandsOrFatal(t)(NearWorstCase(tor, 1, 300, 42))
+	b := demandsOrFatal(t)(NearWorstCase(tor, 1, 300, 42))
 	if len(a) != len(b) {
 		t.Fatal("length mismatch")
 	}
@@ -75,6 +75,8 @@ func BenchmarkNearWorstCase(b *testing.B) {
 	tor := torus.MustNew(8, 4, 4, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		NearWorstCase(tor, 1, 100, int64(i))
+		if _, err := NearWorstCase(tor, 1, 100, int64(i)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

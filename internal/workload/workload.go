@@ -5,34 +5,74 @@
 // pattern that concentrates traffic on the longest dimension. Each
 // generator produces route.Demand lists consumable by the static
 // analyzer (route.LoadMap) and the flow simulator (netsim).
+//
+// Every generator returns ([]route.Demand, error) with a uniform
+// error contract: non-positive or non-finite byte volumes and node
+// counts beyond the generator's feasibility bound are rejected up
+// front, so a serving layer composing workloads from untrusted
+// requests gets a validation error instead of an OOM or a silent
+// zero-demand result.
 package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"netpart/internal/route"
 	"netpart/internal/torus"
 )
 
+// MaxNodes bounds the torus size the per-node generators accept: one
+// demand per node (or per node-neighbour pair) stays allocatable far
+// beyond paper scale, but a malformed request for a 10^9-node torus
+// should fail fast instead of thrashing.
+const MaxNodes = 1 << 20
+
+// MaxAllToAllNodes bounds AllToAll, whose demand count is quadratic.
+const MaxAllToAllNodes = 4096
+
+// validate applies the shared generator preconditions: a positive,
+// finite per-flow byte volume and a node count within bound.
+func validate(generator string, n, maxNodes int, bytes float64) error {
+	if bytes <= 0 || math.IsInf(bytes, 0) || math.IsNaN(bytes) {
+		return fmt.Errorf("workload: %s: byte volume %v is not positive and finite", generator, bytes)
+	}
+	if n > maxNodes {
+		return fmt.Errorf("workload: %s on %d nodes exceeds the %d-node bound", generator, n, maxNodes)
+	}
+	return nil
+}
+
 // BisectionPairing pairs every node with the node at maximal hop
 // distance (offset by half of every ring) and exchanges bytes in both
 // directions — the paper's §4.1 benchmark. The returned demands
 // contain one entry per node (its outgoing flow).
-func BisectionPairing(r *route.Router, bytes float64) []route.Demand {
+func BisectionPairing(r *route.Router, bytes float64) ([]route.Demand, error) {
 	n := r.Torus().NumVertices()
-	demands := make([]route.Demand, n)
-	for v := 0; v < n; v++ {
-		demands[v] = route.Demand{Src: v, Dst: r.FurthestNode(v), Bytes: bytes}
+	if err := validate("bisection pairing", n, MaxNodes, bytes); err != nil {
+		return nil, err
 	}
-	return demands
+	demands := make([]route.Demand, 0, n)
+	for v := 0; v < n; v++ {
+		if dst := r.FurthestNode(v); dst != v {
+			demands = append(demands, route.Demand{Src: v, Dst: dst, Bytes: bytes})
+		}
+	}
+	return demands, nil
 }
 
 // RandomPermutation sends bytes from every node to a uniformly random
 // distinct target (a derangement is not enforced; self-targets are
-// re-rolled a bounded number of times then skipped).
-func RandomPermutation(t *torus.Torus, bytes float64, rng *rand.Rand) []route.Demand {
+// skipped).
+func RandomPermutation(t *torus.Torus, bytes float64, rng *rand.Rand) ([]route.Demand, error) {
 	n := t.NumVertices()
+	if err := validate("random permutation", n, MaxNodes, bytes); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: random permutation needs a seeded *rand.Rand")
+	}
 	perm := rng.Perm(n)
 	demands := make([]route.Demand, 0, n)
 	for v, d := range perm {
@@ -41,15 +81,15 @@ func RandomPermutation(t *torus.Torus, bytes float64, rng *rand.Rand) []route.De
 		}
 		demands = append(demands, route.Demand{Src: v, Dst: d, Bytes: bytes})
 	}
-	return demands
+	return demands, nil
 }
 
 // AllToAll sends bytes between every ordered pair of distinct nodes.
 // Feasible only for small tori (n^2 demands).
 func AllToAll(t *torus.Torus, bytes float64) ([]route.Demand, error) {
 	n := t.NumVertices()
-	if n > 4096 {
-		return nil, fmt.Errorf("workload: all-to-all on %d nodes is too large", n)
+	if err := validate("all-to-all", n, MaxAllToAllNodes, bytes); err != nil {
+		return nil, err
 	}
 	demands := make([]route.Demand, 0, n*(n-1))
 	for s := 0; s < n; s++ {
@@ -65,20 +105,27 @@ func AllToAll(t *torus.Torus, bytes float64) ([]route.Demand, error) {
 // NearestNeighbor sends bytes from every node to each of its torus
 // neighbours — the halo-exchange pattern of stencil codes, which is
 // contention-free under dimension-ordered routing.
-func NearestNeighbor(t *torus.Torus, bytes float64) []route.Demand {
+func NearestNeighbor(t *torus.Torus, bytes float64) ([]route.Demand, error) {
+	if err := validate("nearest neighbour", t.NumVertices(), MaxNodes, bytes); err != nil {
+		return nil, err
+	}
 	var demands []route.Demand
 	t.ForEachVertex(func(v int) {
 		for _, nb := range t.Neighbors(v, nil) {
 			demands = append(demands, route.Demand{Src: v, Dst: nb, Bytes: bytes})
 		}
 	})
-	return demands
+	return demands, nil
 }
 
 // LongestDimShift shifts every node by half of the longest dimension
 // only — the pure worst-case pattern for a partition's bisection, used
-// by the machine-design ablations.
-func LongestDimShift(t *torus.Torus, bytes float64) []route.Demand {
+// by the machine-design ablations. A torus whose longest dimension has
+// length < 2 yields no demands.
+func LongestDimShift(t *torus.Torus, bytes float64) ([]route.Demand, error) {
+	if err := validate("longest-dim shift", t.NumVertices(), MaxNodes, bytes); err != nil {
+		return nil, err
+	}
 	dims := t.Dims()
 	longest := 0
 	for i, a := range dims {
@@ -96,14 +143,16 @@ func LongestDimShift(t *torus.Torus, bytes float64) []route.Demand {
 	demands := make([]route.Demand, 0, n)
 	a := dims[longest]
 	if a < 2 {
-		return demands
+		return demands, nil
 	}
 	for v := 0; v < n; v++ {
 		c := v / strides[longest] % a
 		dst := v + (((c+a/2)%a)-c)*strides[longest]
-		demands = append(demands, route.Demand{Src: v, Dst: dst, Bytes: bytes})
+		if dst != v {
+			demands = append(demands, route.Demand{Src: v, Dst: dst, Bytes: bytes})
+		}
 	}
-	return demands
+	return demands, nil
 }
 
 // TotalBytes sums the demand volumes.

@@ -1,17 +1,31 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"netpart/internal/route"
 	"netpart/internal/torus"
 )
 
+// demandsOrFatal returns an unwrapper for generator results the test
+// expects to succeed.
+func demandsOrFatal(tb testing.TB) func(d []route.Demand, err error) []route.Demand {
+	return func(d []route.Demand, err error) []route.Demand {
+		if err != nil {
+			tb.Helper()
+			tb.Fatal(err)
+		}
+		return d
+	}
+}
+
 func TestBisectionPairing(t *testing.T) {
 	tor := torus.MustNew(8, 4, 2)
 	r := route.NewRouter(tor)
-	d := BisectionPairing(r, 100)
+	d := demandsOrFatal(t)(BisectionPairing(r, 100))
 	if len(d) != tor.NumVertices() {
 		t.Fatalf("%d demands", len(d))
 	}
@@ -39,7 +53,7 @@ func TestBisectionPairing(t *testing.T) {
 func TestRandomPermutation(t *testing.T) {
 	tor := torus.MustNew(4, 4)
 	rng := rand.New(rand.NewSource(3))
-	d := RandomPermutation(tor, 5, rng)
+	d := demandsOrFatal(t)(RandomPermutation(tor, 5, rng))
 	if len(d) == 0 || len(d) > 16 {
 		t.Fatalf("%d demands", len(d))
 	}
@@ -75,7 +89,7 @@ func TestAllToAll(t *testing.T) {
 func TestNearestNeighborContentionFree(t *testing.T) {
 	tor := torus.MustNew(6, 4)
 	r := route.NewRouter(tor)
-	d := NearestNeighbor(tor, 7)
+	d := demandsOrFatal(t)(NearestNeighbor(tor, 7))
 	if len(d) != tor.NumVertices()*tor.Degree() {
 		t.Fatalf("%d demands", len(d))
 	}
@@ -90,7 +104,7 @@ func TestNearestNeighborContentionFree(t *testing.T) {
 func TestLongestDimShift(t *testing.T) {
 	tor := torus.MustNew(8, 4, 2)
 	r := route.NewRouter(tor)
-	d := LongestDimShift(tor, 1)
+	d := demandsOrFatal(t)(LongestDimShift(tor, 1))
 	if len(d) != tor.NumVertices() {
 		t.Fatalf("%d demands", len(d))
 	}
@@ -104,7 +118,56 @@ func TestLongestDimShift(t *testing.T) {
 		t.Errorf("bottleneck in dimension %d, want 0", dim)
 	}
 	// Degenerate: all dims length 1.
-	if d := LongestDimShift(torus.MustNew(1, 1), 1); len(d) != 0 {
+	if d := demandsOrFatal(t)(LongestDimShift(torus.MustNew(1, 1), 1)); len(d) != 0 {
 		t.Error("degenerate shift should be empty")
+	}
+}
+
+// TestGeneratorErrorPaths exercises the uniform error contract: every
+// generator rejects non-positive and non-finite byte volumes, and the
+// specific preconditions (nil RNG, negative iteration bounds) fail
+// with descriptive errors instead of panicking or silently returning
+// zero demands.
+func TestGeneratorErrorPaths(t *testing.T) {
+	tor := torus.MustNew(4, 4)
+	r := route.NewRouter(tor)
+	rng := rand.New(rand.NewSource(1))
+
+	badBytes := []float64{0, -1, math.Inf(1), math.NaN()}
+	gens := []struct {
+		name string
+		run  func(bytes float64) ([]route.Demand, error)
+	}{
+		{"pairing", func(b float64) ([]route.Demand, error) { return BisectionPairing(r, b) }},
+		{"permutation", func(b float64) ([]route.Demand, error) { return RandomPermutation(tor, b, rng) }},
+		{"all-to-all", func(b float64) ([]route.Demand, error) { return AllToAll(tor, b) }},
+		{"neighbor", func(b float64) ([]route.Demand, error) { return NearestNeighbor(tor, b) }},
+		{"longest-dim", func(b float64) ([]route.Demand, error) { return LongestDimShift(tor, b) }},
+		{"adversarial", func(b float64) ([]route.Demand, error) { return NearWorstCase(tor, b, 10, 1) }},
+	}
+	for _, g := range gens {
+		for _, b := range badBytes {
+			d, err := g.run(b)
+			if err == nil {
+				t.Errorf("%s accepted bytes=%v", g.name, b)
+			}
+			if d != nil {
+				t.Errorf("%s returned demands alongside an error", g.name)
+			}
+			if err != nil && !strings.Contains(err.Error(), "workload:") {
+				t.Errorf("%s error %q lacks package prefix", g.name, err)
+			}
+		}
+		// Valid volume still works.
+		if _, err := g.run(8); err != nil {
+			t.Errorf("%s rejected valid bytes: %v", g.name, err)
+		}
+	}
+
+	if _, err := RandomPermutation(tor, 1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NearWorstCase(tor, 1, -1, 1); err == nil {
+		t.Error("negative iters accepted")
 	}
 }

@@ -1,0 +1,149 @@
+package netpart
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netpart/internal/experiments"
+	"netpart/internal/scenario"
+	"netpart/internal/scenario/sweep"
+)
+
+// Dynamic experiments: alongside the static registry of paper
+// artifacts, the Runner executes user-defined scenarios (one
+// topology × workload × policy composition) and sweeps (parameter
+// grids of scenarios). Dynamic experiments synthesize their
+// Experiment descriptor on the fly; their IDs ("scenario:<hash>",
+// "sweep:<hash>") are content hashes of the normalized definition, so
+// an ID is a true result identity exactly like a registry ID plus
+// normalized options — the serving layer's coalescing cache treats
+// both uniformly. Dynamic IDs always contain a ':', which no registry
+// ID does.
+
+// ScenarioSpec declares one scenario; see the internal/scenario
+// package documentation for the composition model.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioTopology selects the network under test.
+type ScenarioTopology = scenario.TopologySpec
+
+// ScenarioWorkload selects the traffic pattern.
+type ScenarioWorkload = scenario.WorkloadSpec
+
+// ScenarioSim enables the flow-level simulation.
+type ScenarioSim = scenario.SimSpec
+
+// ScenarioOutcome is the typed result of one scenario run; it is the
+// Data payload of RunScenario's Result.
+type ScenarioOutcome = scenario.Outcome
+
+// SweepGrid declares a parameter grid over a base scenario.
+type SweepGrid = sweep.Grid
+
+// SweepAxis is one swept parameter of a SweepGrid.
+type SweepAxis = sweep.Axis
+
+// SweepPoint is one executed grid point (streamed to RunSweep's
+// onPoint callback and listed in SweepData.Points).
+type SweepPoint = sweep.PointResult
+
+// SweepData is the typed result of a sweep; it is the Data payload of
+// RunSweep's Result.
+type SweepData = sweep.Result
+
+// scenarioExperiment synthesizes the descriptor of a normalized spec.
+func scenarioExperiment(norm ScenarioSpec) Experiment {
+	return Experiment{
+		ID:    norm.ID(),
+		Title: norm.Title(),
+		Kind:  KindTable,
+		Cost:  Cost(norm.Cost()),
+	}
+}
+
+// RunScenario executes one user-defined scenario and returns a Result
+// shaped exactly like a registry run: the synthesized descriptor, the
+// rendered metric table, and the typed ScenarioOutcome in Data.
+// Output is byte-deterministic for a given spec — randomized
+// workloads derive from the spec's seed — so Result encodings may be
+// cached and coalesced by Experiment.ID.
+func (r *Runner) RunScenario(ctx context.Context, spec ScenarioSpec) (*Result, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	exp := scenarioExperiment(norm)
+	token := fmt.Sprintf("%s#%d", exp.ID, runSeq.Add(1))
+	start := time.Now()
+	out, err := scenario.Run(ctx, norm)
+	if err != nil {
+		return nil, err
+	}
+	if r.progress != nil {
+		r.progressMu.Lock()
+		r.progress(Progress{Experiment: exp.ID, Run: token, Done: 1, Total: 1})
+		r.progressMu.Unlock()
+	}
+	return &Result{
+		Experiment: exp,
+		Table:      out.Table(),
+		Data:       out,
+		Meta: RunMeta{
+			Run:     token,
+			Workers: 1, // scenario runs are single-point; the pool is for sweeps
+			Elapsed: time.Since(start),
+		},
+	}, nil
+}
+
+// RunSweep expands the grid and executes its points sharded on the
+// Runner's worker pool. onPoint (optional) receives every completed
+// point in completion order; per-point progress flows through the
+// Runner's WithProgress callback (Done counts completed points).
+// Point failures are isolated into SweepPoint.Err — only context
+// cancellation or an invalid grid fail the sweep. The Result is
+// byte-deterministic for a given grid regardless of worker count.
+func (r *Runner) RunSweep(ctx context.Context, grid SweepGrid, onPoint func(SweepPoint)) (*Result, error) {
+	points, err := grid.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	exp := Experiment{
+		ID:    sweep.ID(grid.Name, points),
+		Title: grid.Title(),
+		Kind:  KindTable,
+		Cost:  Cost(sweep.Cost(points)),
+	}
+	token := fmt.Sprintf("%s#%d", exp.ID, runSeq.Add(1))
+	opts := sweep.Options{Workers: r.workers, OnPoint: onPoint}
+	if r.progress != nil {
+		fn := r.progress
+		opts.OnProgress = func(done, total int) {
+			r.progressMu.Lock()
+			defer r.progressMu.Unlock()
+			fn(Progress{Experiment: exp.ID, Run: token, Done: done, Total: total})
+		}
+	}
+	start := time.Now()
+	res, err := sweep.RunPoints(ctx, grid, points, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Experiment: exp,
+		Table:      res.Table(exp.Title),
+		Data:       res,
+		Meta: RunMeta{
+			Run:     token,
+			Workers: experiments.Config{Workers: r.workers}.ResolvedWorkers(),
+			Elapsed: time.Since(start),
+		},
+	}, nil
+}
