@@ -1,0 +1,78 @@
+package netpart
+
+import (
+	"context"
+	"testing"
+
+	"netpart/internal/scenario/sweep"
+)
+
+// Trace-simulator benchmarks: the cost of one trace-driven queue
+// simulation (the serving unit of POST /v1/traces) and of a
+// policy-comparison grid on the worker pool. cmd/benchsnap records
+// these to BENCH_sweep.json in CI alongside the sweep and scenario
+// hot paths.
+
+// benchTrace is a 200-job contention-heavy trace on JUQUEEN — the
+// acceptance-criterion shape.
+func benchTrace(policy string) TraceSpec {
+	return TraceSpec{
+		Machine: "juqueen", Policy: policy, Backfill: true,
+		Synthetic: &TraceSynthetic{
+			Jobs: 200, Seed: 11, RateHz: 0.06,
+			Sizes: []int{1, 2, 4, 8}, Pattern: "pairing", PatternFraction: 0.5,
+		},
+	}
+}
+
+// BenchmarkTraceSim200 measures one full 200-job simulation under the
+// contention-aware policy.
+func BenchmarkTraceSim200(b *testing.B) {
+	runner := NewRunner()
+	spec := benchTrace("contention-aware")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunTrace(context.Background(), spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceSimFirstFit200 is the geometry-oblivious baseline of
+// the same trace; the spread against BenchmarkTraceSim200 is the
+// runtime cost of the policy itself, not the workload.
+func BenchmarkTraceSimFirstFit200(b *testing.B) {
+	runner := NewRunner()
+	spec := benchTrace("first-fit")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunTrace(context.Background(), spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGridPolicies runs a 3-policy comparison grid of
+// 40-job traces on the worker pool.
+func BenchmarkTraceGridPolicies(b *testing.B) {
+	runner := NewRunner()
+	grid := TraceGrid{
+		Name: "bench",
+		Base: TraceSpec{
+			Machine: "juqueen", Backfill: true,
+			Synthetic: &TraceSynthetic{Jobs: 40, Pattern: "pairing", PatternFraction: 0.5},
+		},
+		Axes: []SweepAxis{
+			{Path: "policy", Values: sweep.Strings("first-fit", "best-bisection", "contention-aware")},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunTraceGrid(context.Background(), grid, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

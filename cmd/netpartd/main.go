@@ -1,9 +1,9 @@
 // Command netpartd serves the netpart experiment registry over HTTP:
 // the /v1 REST surface of internal/serve (registry listing,
 // synchronous cached results, asynchronous runs with SSE progress
-// streams, user-defined scenarios and parameter-grid sweeps), with
-// per-cost-class admission control and request coalescing in front of
-// the Runner.
+// streams, user-defined scenarios, parameter-grid sweeps, and
+// trace-driven scheduling simulations), with per-cost-class admission
+// control and request coalescing in front of the Runner.
 //
 // Usage:
 //
@@ -33,6 +33,12 @@
 //	           {"path": "workload.pattern", "values": ["pairing", "neighbor"]}]}'
 //	curl -N localhost:8080/v1/sweeps/sweep-000001/events
 //	curl -s localhost:8080/v1/sweeps/sweep-000001?format=markdown
+//	curl -s -X POST localhost:8080/v1/traces -d '{
+//	  "machine": "juqueen", "policy": "contention-aware", "backfill": true,
+//	  "synthetic": {"jobs": 120, "rate_hz": 0.08,
+//	                "pattern": "pairing", "pattern_fraction": 0.5}}'
+//	curl -N localhost:8080/v1/traces/trace-000001/events
+//	curl -s localhost:8080/v1/traces/trace-000001?format=markdown
 package main
 
 import (

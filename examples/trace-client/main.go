@@ -1,0 +1,168 @@
+// Trace-client: the consumer's view of the trace-simulation API. It
+// submits a trace-driven multi-job scheduling simulation to a running
+// netpartd, tails the Server-Sent-Events stream — printing every job
+// start/finish as the simulated queue unfolds — and fetches the final
+// metrics in the requested encoding.
+//
+// Start the daemon, then run the client:
+//
+//	go run ./cmd/netpartd -addr localhost:8080
+//	go run ./examples/trace-client -addr localhost:8080
+//
+// By default it replays a bursty 60-job synthetic trace on JUQUEEN
+// under the contention-aware policy with backfill — the paper's §5
+// scheduler proposal driven by a queue instead of a single job. Pass
+// -policy first-fit to watch the same trace dilate under
+// geometry-oblivious placement, or -trace file.json to submit your
+// own trace (or trace-grid) document.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func demoTrace(policy string) map[string]any {
+	return map[string]any{
+		"name":     fmt.Sprintf("demo trace (%s)", policy),
+		"machine":  "juqueen",
+		"policy":   policy,
+		"backfill": true,
+		"synthetic": map[string]any{
+			"jobs": 60, "seed": 7, "arrival": "burst", "burst_size": 6, "rate_hz": 0.08,
+			"sizes": []int{1, 2, 4, 8}, "mean_runtime_sec": 300,
+			"pattern": "pairing", "pattern_fraction": 0.5,
+		},
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "netpartd address")
+	policy := flag.String("policy", "contention-aware", "placement policy for the demo trace")
+	traceFile := flag.String("trace", "", "trace JSON file (default: built-in demo trace)")
+	format := flag.String("format", "markdown", "final result encoding: json, csv or markdown")
+	flag.Parse()
+	log.SetFlags(0)
+	base := "http://" + *addr
+
+	var body []byte
+	if *traceFile != "" {
+		var err error
+		if body, err = os.ReadFile(*traceFile); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		body, _ = json.Marshal(demoTrace(*policy))
+	}
+
+	// Submit the trace.
+	resp, err := http.Post(base+"/v1/traces", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit: %s: %s", resp.Status, doc)
+	}
+	var job struct {
+		ID         string            `json:"id"`
+		Experiment string            `json:"experiment"`
+		Links      map[string]string `json:"links"`
+	}
+	if err := json.Unmarshal(doc, &job); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (experiment %s)\n", job.ID, job.Experiment)
+
+	// Tail the event stream: the queue unfolding in simulation time.
+	events, err := http.Get(base + job.Links["events"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer events.Body.Close()
+	sc := bufio.NewScanner(events.Body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "job":
+				var ev struct {
+					Kind          string  `json:"kind"`
+					TimeSec       float64 `json:"time_sec"`
+					Job           int     `json:"job"`
+					Midplanes     int     `json:"midplanes"`
+					Geometry      string  `json:"geometry"`
+					Dilation      float64 `json:"dilation"`
+					FreeMidplanes int     `json:"free_midplanes"`
+					Backfilled    bool    `json:"backfilled"`
+				}
+				if json.Unmarshal([]byte(data), &ev) != nil {
+					continue
+				}
+				note := ""
+				if ev.Backfilled {
+					note = "  (backfilled)"
+				}
+				if ev.Dilation > 1 {
+					note += fmt.Sprintf("  dilation %.2fx", ev.Dilation)
+				}
+				fmt.Printf("  t=%8.0fs  %-6s job %3d  %2d midplanes as %-8s free %2d%s\n",
+					ev.TimeSec, ev.Kind, ev.Job, ev.Midplanes, ev.Geometry, ev.FreeMidplanes, note)
+			case "point":
+				var p struct {
+					Index  int `json:"index"`
+					Result *struct {
+						Metrics struct {
+							MakespanSec float64 `json:"makespan_sec"`
+							ContentionX float64 `json:"contention_x"`
+						} `json:"metrics"`
+					} `json:"result"`
+					Err string `json:"error"`
+				}
+				if json.Unmarshal([]byte(data), &p) != nil {
+					continue
+				}
+				if p.Err != "" {
+					fmt.Printf("  point %2d  ERROR %s\n", p.Index, p.Err)
+				} else if p.Result != nil {
+					fmt.Printf("  point %2d  makespan %.0fs  contention %.2fx\n",
+						p.Index, p.Result.Metrics.MakespanSec, p.Result.Metrics.ContentionX)
+				}
+			case "progress":
+				var pr struct{ Done, Total int }
+				if json.Unmarshal([]byte(data), &pr) == nil && pr.Done == pr.Total {
+					fmt.Printf("  all %d jobs done\n", pr.Total)
+				}
+			case "done":
+				goto finished
+			}
+		}
+	}
+finished:
+
+	// Fetch the final metrics in the requested encoding.
+	res, err := http.Get(base + job.Links["self"] + "?format=" + *format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Body.Close()
+	final, _ := io.ReadAll(res.Body)
+	if res.StatusCode != http.StatusOK {
+		log.Fatalf("result: %s: %s", res.Status, final)
+	}
+	fmt.Printf("\nresult (%s, ETag %s):\n\n%s\n", *format, res.Header.Get("ETag"), final)
+}

@@ -290,16 +290,12 @@ func (s Spec) Normalize() (Spec, error) {
 			return Spec{}, fmt.Errorf("scenario: dragonfly group %s has %d global ports, cannot reach %d peer groups", shape, gs, t.Groups-1)
 		}
 	case KindPartition:
-		machine := strings.ToLower(strings.TrimSpace(s.Topology.Machine))
-		if machine == "" {
+		if strings.TrimSpace(s.Topology.Machine) == "" {
 			return Spec{}, fmt.Errorf("scenario: partition topology needs a machine (catalog name or midplane grid shape)")
 		}
-		if !catalogMachine(machine) {
-			shape, _, err := canonShape("partition machine grid", machine)
-			if err != nil {
-				return Spec{}, fmt.Errorf("scenario: machine %q is neither a catalog name (mira, juqueen, sequoia, juqueen48, juqueen54) nor a midplane grid shape: %w", s.Topology.Machine, err)
-			}
-			machine = shape
+		machine, err := CanonicalMachine(s.Topology.Machine)
+		if err != nil {
+			return Spec{}, err
 		}
 		t.Machine = machine
 		if s.Topology.Midplanes < 1 {

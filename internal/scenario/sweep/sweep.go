@@ -110,12 +110,12 @@ type axisGroup struct {
 	length int
 }
 
-// groups partitions the axes into odometer digits, in order of first
-// appearance.
-func (g Grid) groups() ([]axisGroup, error) {
+// groupAxes partitions the axes into odometer digits, in order of
+// first appearance.
+func groupAxes(axes []Axis) ([]axisGroup, error) {
 	var out []axisGroup
 	zipIndex := map[string]int{}
-	for i, ax := range g.Axes {
+	for i, ax := range axes {
 		if strings.TrimSpace(ax.Path) == "" {
 			return nil, fmt.Errorf("sweep: axis %d has an empty path", i)
 		}
@@ -180,68 +180,62 @@ func coordValue(raw json.RawMessage) string {
 	return buf.String()
 }
 
-// Expand materializes the grid: every combination of axis values
-// applied to the base spec, strictly decoded, validated and
-// normalized. The expansion is row-major (the last group advances
-// fastest) and bounded by MaxPoints.
-func (g Grid) Expand() ([]Point, error) {
-	groups, err := g.groups()
+// ExpandAxes is the generic dot-path grid expander shared by scenario
+// sweeps and the trace simulator's grids: every combination of axis
+// values is patched into the JSON form of base (row-major, the last
+// axis group advancing fastest, bounded by maxPoints — 0 means
+// DefaultMaxPoints) and handed to decode along with the point index
+// and the rendered axis assignment. A decode error aborts the
+// expansion; decode owns strict decoding and domain validation of the
+// patched document.
+func ExpandAxes(base any, axes []Axis, maxPoints int, decode func(idx int, patched []byte, coords []Coord) error) error {
+	groups, err := groupAxes(axes)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	maxPoints := g.MaxPoints
 	switch {
 	case maxPoints == 0:
 		maxPoints = DefaultMaxPoints
 	case maxPoints < 1 || maxPoints > HardMaxPoints:
-		return nil, fmt.Errorf("sweep: max_points %d out of range [1, %d]", g.MaxPoints, HardMaxPoints)
+		return fmt.Errorf("sweep: max_points %d out of range [1, %d]", maxPoints, HardMaxPoints)
 	}
 	total := 1
 	for _, gr := range groups {
 		total *= gr.length
 		if total > maxPoints {
-			return nil, fmt.Errorf("sweep: grid expands past the %d-point bound", maxPoints)
+			return fmt.Errorf("sweep: grid expands past the %d-point bound", maxPoints)
 		}
 	}
 
-	baseJSON, err := json.Marshal(g.Base)
+	baseJSON, err := json.Marshal(base)
 	if err != nil {
-		return nil, fmt.Errorf("sweep: marshal base spec: %w", err)
+		return fmt.Errorf("sweep: marshal base spec: %w", err)
 	}
 
 	odo := make([]int, len(groups))
-	points := make([]Point, 0, total)
 	for idx := 0; idx < total; idx++ {
 		var doc map[string]any
 		if err := json.Unmarshal(baseJSON, &doc); err != nil {
-			return nil, fmt.Errorf("sweep: base spec: %w", err)
+			return fmt.Errorf("sweep: base spec: %w", err)
 		}
-		coords := make([]Coord, 0, len(g.Axes))
+		coords := make([]Coord, 0, len(axes))
 		for gi, gr := range groups {
 			for _, ai := range gr.axes {
-				ax := g.Axes[ai]
+				ax := axes[ai]
 				val := ax.Values[odo[gi]]
 				if err := applyPath(doc, ax.Path, val); err != nil {
-					return nil, err
+					return err
 				}
 				coords = append(coords, Coord{Path: ax.Path, Value: coordValue(val)})
 			}
 		}
 		patched, err := json.Marshal(doc)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: point %d: %w", idx, err)
+			return fmt.Errorf("sweep: point %d: %w", idx, err)
 		}
-		var spec scenario.Spec
-		dec := json.NewDecoder(bytes.NewReader(patched))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
-			return nil, fmt.Errorf("sweep: point %d (%s): %w", idx, describeCoords(coords), err)
+		if err := decode(idx, patched, coords); err != nil {
+			return err
 		}
-		norm, err := spec.Normalize()
-		if err != nil {
-			return nil, fmt.Errorf("sweep: point %d (%s): %w", idx, describeCoords(coords), err)
-		}
-		points = append(points, Point{Index: idx, Spec: norm, Coords: coords})
 
 		// Advance the odometer: last group fastest.
 		for gi := len(groups) - 1; gi >= 0; gi-- {
@@ -252,10 +246,38 @@ func (g Grid) Expand() ([]Point, error) {
 			odo[gi] = 0
 		}
 	}
+	return nil
+}
+
+// Expand materializes the grid: every combination of axis values
+// applied to the base spec, strictly decoded, validated and
+// normalized. The expansion is row-major (the last group advances
+// fastest) and bounded by MaxPoints.
+func (g Grid) Expand() ([]Point, error) {
+	var points []Point
+	err := ExpandAxes(g.Base, g.Axes, g.MaxPoints, func(idx int, patched []byte, coords []Coord) error {
+		var spec scenario.Spec
+		dec := json.NewDecoder(bytes.NewReader(patched))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return fmt.Errorf("sweep: point %d (%s): %w", idx, DescribeCoords(coords), err)
+		}
+		norm, err := spec.Normalize()
+		if err != nil {
+			return fmt.Errorf("sweep: point %d (%s): %w", idx, DescribeCoords(coords), err)
+		}
+		points = append(points, Point{Index: idx, Spec: norm, Coords: coords})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return points, nil
 }
 
-func describeCoords(coords []Coord) string {
+// DescribeCoords renders an axis assignment for error messages
+// ("topology.policy=first-fit, synthetic.rate_hz=0.1").
+func DescribeCoords(coords []Coord) string {
 	parts := make([]string, len(coords))
 	for i, c := range coords {
 		parts[i] = c.Path + "=" + c.Value

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 
 	"netpart/internal/bgq"
 	"netpart/internal/experiments"
@@ -36,6 +37,28 @@ func catalogMachine(name string) bool {
 	}
 	return false
 }
+
+// CanonicalMachine canonicalizes a machine reference — a catalog name
+// (lower-cased) or an explicit midplane grid shape (re-rendered, so
+// "4X4x 2x2" and "4x4x2x2" share cache identity). It is the seam
+// sibling subsystems (the trace simulator) reuse so every layer
+// resolves machines the same way.
+func CanonicalMachine(name string) (string, error) {
+	m := strings.ToLower(strings.TrimSpace(name))
+	if catalogMachine(m) {
+		return m, nil
+	}
+	sh, err := torus.ParseShape(m)
+	if err != nil {
+		return "", fmt.Errorf("scenario: machine %q is neither a catalog name (mira, juqueen, sequoia, juqueen48, juqueen54) nor a midplane grid shape: %w", name, err)
+	}
+	return sh.String(), nil
+}
+
+// ResolveMachine resolves a canonical machine reference to its model:
+// the catalog machine, or a hypothetical one built from an explicit
+// midplane grid shape.
+func ResolveMachine(name string) (*bgq.Machine, error) { return resolveMachine(name) }
 
 // resolveMachine returns the catalog machine or a hypothetical one
 // built from an explicit midplane grid shape.
@@ -84,14 +107,11 @@ func resolvePartition(t TopologySpec) (*bgq.Machine, bgq.Partition, error) {
 		}
 		return m, p, nil
 	case PolicyFirstFit, PolicyBestBisection, PolicyContentionAware:
-		var pol sched.PlacementPolicy
-		switch t.Policy {
-		case PolicyFirstFit:
-			pol = sched.FirstFit{}
-		case PolicyBestBisection:
-			pol = sched.BestBisection{}
-		default:
-			pol = sched.ContentionAware{}
+		pol, ok := sched.PolicyByName(t.Policy)
+		if !ok {
+			// The case arms above are exactly the sched spellings;
+			// unreachable.
+			return nil, bgq.Partition{}, fmt.Errorf("scenario: unknown sched policy %q", t.Policy)
 		}
 		grid := sched.NewGrid(m)
 		cands := grid.Candidates(t.Midplanes)

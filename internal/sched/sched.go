@@ -14,6 +14,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -74,14 +75,25 @@ func (g *Grid) cellsOf(origin torus.Coord, lens torus.Shape) []int {
 	return cells
 }
 
-// fits reports whether the cuboid placement is entirely free.
+// fits reports whether the cuboid placement is entirely free. It is
+// the candidate-enumeration hot path (one probe per origin × length
+// assignment), so it walks the cells directly — no slice
+// materialization — and exits on the first occupied cell.
 func (g *Grid) fits(origin torus.Coord, lens torus.Shape) bool {
-	for _, c := range g.cellsOf(origin, lens) {
-		if g.used[c] != 0 {
-			return false
+	var rec func(dim, base int) bool
+	rec = func(dim, base int) bool {
+		if dim == len(g.dims) {
+			return g.used[base] == 0
 		}
+		for off := 0; off < lens[dim]; off++ {
+			c := (origin[dim] + off) % g.dims[dim]
+			if !rec(dim+1, base+c*g.strides[dim]) {
+				return false
+			}
+		}
+		return true
 	}
-	return true
+	return rec(0, 0)
 }
 
 // occupy marks a placement as owned by a job.
@@ -218,6 +230,22 @@ func (ContentionAware) Choose(job Job, candidates []Placement) Placement {
 	return FirstFit{}.Choose(job, candidates)
 }
 
+// PolicyByName resolves a policy's Name() spelling to its
+// implementation — the single mapping every layer (scenario
+// resolution, the trace simulator) shares, so a new policy is wired
+// in exactly one place.
+func PolicyByName(name string) (PlacementPolicy, bool) {
+	switch name {
+	case FirstFit{}.Name():
+		return FirstFit{}, true
+	case BestBisection{}.Name():
+		return BestBisection{}, true
+	case ContentionAware{}.Name():
+		return ContentionAware{}, true
+	}
+	return nil, false
+}
+
 // Job is a queue entry.
 type Job struct {
 	ID        int
@@ -231,12 +259,30 @@ type Job struct {
 	ContentionBound bool
 }
 
+// NeverFitsError reports a job that can never be placed: no cuboid of
+// the requested midplane count fits the machine even when it is empty.
+// The job is rejected up front — a queue whose head can never start
+// would otherwise deadlock the schedule (and hand the placement
+// policies an empty candidate list, which their contract forbids).
+type NeverFitsError struct {
+	Job       int
+	Midplanes int
+	Machine   string
+}
+
+func (e *NeverFitsError) Error() string {
+	return fmt.Sprintf("sched: job %d requests %d midplanes, which can never be placed on %s", e.Job, e.Midplanes, e.Machine)
+}
+
 // Allocation records a placed job.
 type Allocation struct {
 	Job       Job
 	Placement Placement
 	StartSec  float64
 	EndSec    float64
+	// Backfilled marks jobs admitted ahead of the queue head by the
+	// EASY backfill path.
+	Backfilled bool
 }
 
 // Result summarizes a scheduling run.
@@ -275,6 +321,20 @@ type Options struct {
 	// enough midplanes will be free (count-based estimate) — so the
 	// head's start is never delayed.
 	Backfill bool
+
+	// Duration computes a job's actual runtime on a placement. Nil
+	// means the built-in model: BaseDurationSec, stretched by
+	// bestBW/placedBW for contention-bound jobs. The trace simulator
+	// substitutes a route/netsim-scored dilation here, so runtime
+	// feedback from allocation geometry flows back into the queue.
+	Duration func(job Job, pl Placement) float64
+
+	// OnStart and OnFinish, when non-nil, observe the schedule as it
+	// unfolds. Calls arrive in simulation-time order (the loop is
+	// sequential); OnStart fires when a job is placed, OnFinish when
+	// it completes and its midplanes are released.
+	OnStart  func(Allocation)
+	OnFinish func(Allocation)
 }
 
 // Run schedules the jobs FCFS under the policy and returns the
@@ -285,12 +345,53 @@ func Run(m *bgq.Machine, policy PlacementPolicy, jobs []Job) (Result, error) {
 
 // RunWithOptions is Run with scheduling options.
 func RunWithOptions(m *bgq.Machine, policy PlacementPolicy, jobs []Job, opts Options) (Result, error) {
-	for _, j := range jobs {
-		if len(torus.EnumerateGeometries(m.Grid, len(m.Grid), j.Midplanes)) == 0 {
-			return Result{}, fmt.Errorf("sched: job %d requests %d midplanes, infeasible on %s", j.ID, j.Midplanes, m.Name)
+	return RunContext(context.Background(), m, policy, jobs, opts)
+}
+
+// validateJob rejects jobs the scheduling loop cannot make sense of:
+// non-positive sizes, non-positive or non-finite runtimes, negative or
+// non-finite arrivals.
+func validateJob(j Job) error {
+	if j.Midplanes < 1 {
+		return fmt.Errorf("sched: job %d requests %d midplanes, want >= 1", j.ID, j.Midplanes)
+	}
+	if j.BaseDurationSec <= 0 || math.IsInf(j.BaseDurationSec, 0) || math.IsNaN(j.BaseDurationSec) {
+		return fmt.Errorf("sched: job %d duration %v is not positive and finite", j.ID, j.BaseDurationSec)
+	}
+	if j.ArrivalSec < 0 || math.IsInf(j.ArrivalSec, 0) || math.IsNaN(j.ArrivalSec) {
+		return fmt.Errorf("sched: job %d arrival %v is not non-negative and finite", j.ID, j.ArrivalSec)
+	}
+	return nil
+}
+
+// neverFits reports whether no cuboid of the midplane count fits the
+// machine even when empty (no geometry, or no length assignment of any
+// geometry fits the host dimensions).
+func neverFits(m *bgq.Machine, midplanes int) bool {
+	for _, geo := range torus.EnumerateGeometries(m.Grid, len(m.Grid), midplanes) {
+		if len(torus.Placements(m.Grid, geo)) > 0 {
+			return false
 		}
-		if j.BaseDurationSec <= 0 {
-			return Result{}, fmt.Errorf("sched: job %d has non-positive duration", j.ID)
+	}
+	return true
+}
+
+// RunContext is RunWithOptions with cancellation: the context is
+// checked once per event-loop iteration, so a canceled simulation
+// stops between events and returns ctx.Err().
+func RunContext(ctx context.Context, m *bgq.Machine, policy PlacementPolicy, jobs []Job, opts Options) (Result, error) {
+	fits := map[int]bool{}
+	for _, j := range jobs {
+		if err := validateJob(j); err != nil {
+			return Result{}, err
+		}
+		ok, checked := fits[j.Midplanes]
+		if !checked {
+			ok = !neverFits(m, j.Midplanes)
+			fits[j.Midplanes] = ok
+		}
+		if !ok {
+			return Result{}, &NeverFitsError{Job: j.ID, Midplanes: j.Midplanes, Machine: m.Name}
 		}
 	}
 	grid := NewGrid(m)
@@ -314,24 +415,31 @@ func RunWithOptions(m *bgq.Machine, policy PlacementPolicy, jobs []Job, opts Opt
 		return best
 	}
 
-	// jobDuration applies the contention-bound stretch for a placement.
-	jobDuration := func(job Job, pl Placement) float64 {
-		duration := job.BaseDurationSec
-		if job.ContentionBound {
-			best, _ := m.Best(job.Midplanes)
-			duration *= float64(best.BisectionBW()) / float64(pl.Partition().BisectionBW())
+	// jobDuration applies the configured runtime model (default: the
+	// contention-bound bisection stretch) for a placement.
+	jobDuration := opts.Duration
+	if jobDuration == nil {
+		jobDuration = func(job Job, pl Placement) float64 {
+			duration := job.BaseDurationSec
+			if job.ContentionBound {
+				best, _ := m.Best(job.Midplanes)
+				duration *= float64(best.BisectionBW()) / float64(pl.Partition().BisectionBW())
+			}
+			return duration
 		}
-		return duration
 	}
 
-	startJob := func(job Job, pl Placement) {
+	startJob := func(job Job, pl Placement, backfilled bool) {
 		duration := jobDuration(job, pl)
-		alloc := Allocation{Job: job, Placement: pl, StartSec: now, EndSec: now + duration}
+		alloc := Allocation{Job: job, Placement: pl, StartSec: now, EndSec: now + duration, Backfilled: backfilled}
 		grid.occupy(job.ID, pl.Origin, pl.Lens)
 		active = append(active, running{alloc})
 		res.TotalWaitSec += now - job.ArrivalSec
 		res.TotalRunSec += duration
 		res.MidplaneSeconds += float64(job.Midplanes) * duration
+		if opts.OnStart != nil {
+			opts.OnStart(alloc)
+		}
 	}
 
 	// shadowTime estimates when the head job could start: the earliest
@@ -358,12 +466,15 @@ func RunWithOptions(m *bgq.Machine, policy PlacementPolicy, jobs []Job, opts Opt
 	}
 
 	for len(queue) > 0 || len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		// Try to start the head of the queue (strict FCFS).
 		started := false
 		if len(queue) > 0 && queue[0].ArrivalSec <= now {
 			job := queue[0]
 			if cands := grid.candidates(job.Midplanes); len(cands) > 0 {
-				startJob(job, policy.Choose(job, cands))
+				startJob(job, policy.Choose(job, cands), false)
 				queue = queue[1:]
 				started = true
 			} else if opts.Backfill {
@@ -381,7 +492,7 @@ func RunWithOptions(m *bgq.Machine, policy PlacementPolicy, jobs []Job, opts Opt
 					}
 					pl := policy.Choose(cand, cs)
 					if now+jobDuration(cand, pl) <= shadow {
-						startJob(cand, pl)
+						startJob(cand, pl, true)
 						queue = append(queue[:i], queue[i+1:]...)
 						started = true
 						break
@@ -410,12 +521,16 @@ func RunWithOptions(m *bgq.Machine, policy PlacementPolicy, jobs []Job, opts Opt
 			if a.EndSec > res.MakespanSec {
 				res.MakespanSec = a.EndSec
 			}
+			if opts.OnFinish != nil {
+				opts.OnFinish(a)
+			}
 		case nextArrival >= 0:
 			now = nextArrival
 		default:
-			// Head job cannot start and nothing is running: the queue
-			// head needs space that fragmentation denies forever.
-			return Result{}, fmt.Errorf("sched: job %d (%d midplanes) cannot be placed on an empty machine", queue[0].ID, queue[0].Midplanes)
+			// Unreachable after the up-front feasibility pass: the head
+			// could be placed on an empty machine, and with nothing
+			// running and no future arrival the machine is empty.
+			return Result{}, &NeverFitsError{Job: queue[0].ID, Midplanes: queue[0].Midplanes, Machine: m.Name}
 		}
 	}
 	sort.Slice(res.Allocations, func(i, j int) bool { return res.Allocations[i].Job.ID < res.Allocations[j].Job.ID })

@@ -1,0 +1,266 @@
+package tracesim
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"netpart/internal/experiments"
+	"netpart/internal/scenario"
+	"netpart/internal/scenario/sweep"
+	"netpart/internal/tabulate"
+)
+
+// Grid point bounds: trace points are whole queue simulations, so the
+// caps sit well below the scenario sweep's.
+const (
+	// DefaultMaxGridPoints caps expansion when the grid does not set
+	// MaxPoints.
+	DefaultMaxGridPoints = 256
+	// HardMaxGridPoints is the ceiling no grid may raise MaxPoints
+	// above.
+	HardMaxGridPoints = 1024
+	// MaxGridJobs bounds the summed trace length across a grid's
+	// points. MaxJobs and HardMaxGridPoints are each enforced, but
+	// their product would let one small request pin gigabytes of
+	// per-job state (expanded specs, outcomes, the cached result), so
+	// the total is bounded too.
+	MaxGridJobs = 65536
+)
+
+// Grid is a declarative trace sweep: a base Spec plus dot-path axes
+// (the sweep axis machinery — cartesian by default, zipped on
+// request), e.g. policy × arrival-rate grids via "policy" and
+// "synthetic.rate_hz".
+type Grid struct {
+	Name string       `json:"name,omitempty"`
+	Base Spec         `json:"base"`
+	Axes []sweep.Axis `json:"axes,omitempty"`
+	// MaxPoints overrides DefaultMaxGridPoints (min 1, max
+	// HardMaxGridPoints).
+	MaxPoints int `json:"max_points,omitempty"`
+}
+
+// Point is one expanded grid point: a validated, normalized trace
+// spec plus the axis assignment that produced it.
+type Point struct {
+	Index  int
+	Spec   Spec
+	Coords []sweep.Coord
+}
+
+// Expand materializes the grid through the shared dot-path expander:
+// every combination of axis values applied to the base spec, strictly
+// decoded, validated and normalized, row-major and bounded by
+// MaxPoints.
+func (g Grid) Expand() ([]Point, error) {
+	maxPoints := g.MaxPoints
+	switch {
+	case maxPoints == 0:
+		maxPoints = DefaultMaxGridPoints
+	case maxPoints < 1 || maxPoints > HardMaxGridPoints:
+		return nil, fmt.Errorf("tracesim: max_points %d out of range [1, %d]", g.MaxPoints, HardMaxGridPoints)
+	}
+	var points []Point
+	totalJobs := 0
+	err := sweep.ExpandAxes(g.Base, g.Axes, maxPoints, func(idx int, patched []byte, coords []sweep.Coord) error {
+		var spec Spec
+		dec := json.NewDecoder(bytes.NewReader(patched))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return fmt.Errorf("tracesim: point %d (%s): %w", idx, sweep.DescribeCoords(coords), err)
+		}
+		norm, err := spec.Normalize()
+		if err != nil {
+			return fmt.Errorf("tracesim: point %d (%s): %w", idx, sweep.DescribeCoords(coords), err)
+		}
+		if totalJobs += norm.JobCount(); totalJobs > MaxGridJobs {
+			return fmt.Errorf("tracesim: grid expands past %d total jobs at point %d", MaxGridJobs, idx)
+		}
+		points = append(points, Point{Index: idx, Spec: norm, Coords: coords})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// GridID returns the grid's content identity: "tracegrid:" plus a
+// hash over the name and, per expanded point, the canonical spec and
+// the rendered axis assignment — everything that reaches the output
+// bytes, mirroring sweep.ID.
+func GridID(name string, points []Point) string {
+	h := sha256.New()
+	h.Write([]byte(name))
+	for _, p := range points {
+		h.Write([]byte{0})
+		h.Write([]byte(p.Spec.Key()))
+		for _, c := range p.Coords {
+			h.Write([]byte{1})
+			h.Write([]byte(c.Path))
+			h.Write([]byte{2})
+			h.Write([]byte(c.Value))
+		}
+	}
+	return "tracegrid:" + hex.EncodeToString(h.Sum(nil)[:6])
+}
+
+// GridCost derives the admission cost class from the expanded points:
+// never cheap, heavy when the grid is large or any point is heavy.
+func GridCost(points []Point) string {
+	if len(points) > 8 {
+		return scenario.CostHeavy
+	}
+	for _, p := range points {
+		if p.Spec.Cost() == scenario.CostHeavy {
+			return scenario.CostHeavy
+		}
+	}
+	return scenario.CostModerate
+}
+
+// Title returns the grid's human label.
+func (g Grid) Title() string {
+	if g.Name != "" {
+		return g.Name
+	}
+	if len(g.Axes) == 0 {
+		return g.Base.Title()
+	}
+	paths := make([]string, len(g.Axes))
+	for i, ax := range g.Axes {
+		paths[i] = ax.Path
+	}
+	return "trace sweep over " + strings.Join(paths, " × ")
+}
+
+// PointResult is one executed grid point. Exactly one of Result and
+// Err is set: a point that fails at run time is isolated — its error
+// is recorded and the grid continues.
+type PointResult struct {
+	Index  int           `json:"index"`
+	Coords []sweep.Coord `json:"coords"`
+	Result *Result       `json:"result,omitempty"`
+	Err    string        `json:"error,omitempty"`
+}
+
+// GridResult is a completed trace grid: every point in index order.
+type GridResult struct {
+	ID        string        `json:"id"`
+	Name      string        `json:"name,omitempty"`
+	AxisPaths []string      `json:"axis_paths"`
+	Points    []PointResult `json:"points"`
+	Failed    int           `json:"failed"`
+}
+
+// GridOptions tunes a grid execution.
+type GridOptions struct {
+	// Workers bounds the worker pool (0 = runnable CPUs, 1 =
+	// sequential). Output is byte-identical at any pool size.
+	Workers int
+	// OnPoint, when non-nil, receives every completed point in
+	// completion order. Calls are serialized.
+	OnPoint func(PointResult)
+	// OnProgress, when non-nil, receives (completedPoints, total)
+	// after every point. Calls are serialized and monotone.
+	OnProgress func(done, total int)
+}
+
+// RunGrid executes pre-expanded grid points on the experiment
+// worker-pool driver (one point per pool unit — every point is a
+// whole queue simulation, so there is nothing to amortize by
+// sharding). Point failures are isolated into PointResult.Err; only
+// context cancellation aborts the grid. Results land in
+// index-addressed slots, so the returned GridResult is
+// byte-deterministic regardless of worker count.
+func RunGrid(ctx context.Context, g Grid, points []Point, opts GridOptions) (*GridResult, error) {
+	res := &GridResult{
+		ID:     GridID(g.Name, points),
+		Name:   g.Name,
+		Points: make([]PointResult, len(points)),
+	}
+	for _, ax := range g.Axes {
+		res.AxisPaths = append(res.AxisPaths, ax.Path)
+	}
+	if len(points) == 0 {
+		return res, nil
+	}
+
+	cfg := experiments.Config{Workers: opts.Workers}
+	var mu sync.Mutex
+	done := 0
+	err := cfg.ForEach(ctx, len(points), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pr := PointResult{Index: i, Coords: points[i].Coords}
+		out, err := Run(ctx, points[i].Spec, Options{})
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return ctx.Err()
+		case err != nil:
+			pr.Err = err.Error()
+		default:
+			pr.Result = out
+		}
+		res.Points[i] = pr
+
+		mu.Lock()
+		done++
+		d := done
+		if opts.OnPoint != nil {
+			opts.OnPoint(pr)
+		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(d, len(points))
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Points {
+		if res.Points[i].Err != "" {
+			res.Failed++
+		}
+	}
+	return res, nil
+}
+
+// Table renders the grid as one row per point, in index order: the
+// axis assignment followed by the headline trace metrics. The
+// rendering is byte-deterministic.
+func (r *GridResult) Table(title string) tabulate.Table {
+	headers := []string{"#"}
+	headers = append(headers, r.AxisPaths...)
+	headers = append(headers, "jobs", "makespan (s)", "avg wait (s)", "avg stretch",
+		"contention", "utilization", "fragmentation", "backfilled", "error")
+	t := tabulate.Table{Title: title, Headers: headers}
+	for _, p := range r.Points {
+		row := make([]any, 0, len(headers))
+		row = append(row, p.Index)
+		byPath := map[string]string{}
+		for _, c := range p.Coords {
+			byPath[c.Path] = c.Value
+		}
+		for _, path := range r.AxisPaths {
+			row = append(row, byPath[path])
+		}
+		if res := p.Result; res != nil {
+			m := res.Metrics
+			row = append(row, m.Jobs, m.MakespanSec, m.AvgWaitSec, m.AvgStretch,
+				m.ContentionX, m.Utilization, m.Fragmentation, m.Backfilled, "")
+		} else {
+			row = append(row, "-", "-", "-", "-", "-", "-", "-", "-", p.Err)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,94 @@
+package tracesim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// paretoAlpha is the tail index of the heavy-tail draws: finite mean,
+// infinite variance — the classic supercomputer-workload shape.
+const paretoAlpha = 1.5
+
+// minRuntimeSec floors synthetic runtimes so a tiny exponential draw
+// cannot produce a zero-length (invalid) job.
+const minRuntimeSec = 1e-3
+
+// paretoMean draws from a Pareto(α=paretoAlpha) with the given mean.
+func paretoMean(rng *rand.Rand, mean float64) float64 {
+	xm := mean * (paretoAlpha - 1) / paretoAlpha
+	u := 1 - rng.Float64() // (0, 1]
+	return xm * math.Pow(u, -1/paretoAlpha)
+}
+
+// pickSize draws one size index from the (optionally weighted)
+// distribution.
+func pickSize(rng *rand.Rand, n int, weights []float64) int {
+	if len(weights) == 0 {
+		return rng.Intn(n)
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// materialize expands a normalized generator into its job list. The
+// draw order per job is fixed — interarrival, size, runtime, pattern
+// coin — so a given (generator, seed) always yields the same trace;
+// new knobs must extend the sequence, never reorder it.
+func (sy Synthetic) materialize() []JobSpec {
+	rng := rand.New(rand.NewSource(sy.Seed))
+	jobs := make([]JobSpec, sy.Jobs)
+	now := 0.0
+	for i := range jobs {
+		switch sy.Arrival {
+		case ArrivalPoisson:
+			now += rng.ExpFloat64() / sy.RateHz
+		case ArrivalHeavyTail:
+			now += paretoMean(rng, 1/sy.RateHz)
+		case ArrivalBurst:
+			// BurstSize simultaneous arrivals; bursts spaced so the
+			// long-run rate still matches RateHz.
+			if i > 0 && i%sy.BurstSize == 0 {
+				now += float64(sy.BurstSize) / sy.RateHz
+			}
+		}
+		size := sy.Sizes[pickSize(rng, len(sy.Sizes), sy.SizeWeights)]
+		var runSec float64
+		switch sy.Runtime {
+		case RuntimeExp:
+			runSec = rng.ExpFloat64() * sy.MeanRuntimeSec
+		case RuntimeHeavyTail:
+			runSec = paretoMean(rng, sy.MeanRuntimeSec)
+		case RuntimeFixed:
+			runSec = sy.MeanRuntimeSec
+		}
+		if runSec < minRuntimeSec {
+			runSec = minRuntimeSec
+		}
+		job := JobSpec{Midplanes: size, ArrivalSec: now, RuntimeSec: runSec}
+		if sy.PatternFraction > 0 && rng.Float64() < sy.PatternFraction {
+			job.Pattern = sy.Pattern
+			job.ContentionBound = true
+		}
+		jobs[i] = job
+	}
+	return jobs
+}
+
+// trace materializes the spec's job list (inline or synthetic). Call
+// on a normalized Spec.
+func (s Spec) trace() []JobSpec {
+	if s.Synthetic != nil {
+		return s.Synthetic.materialize()
+	}
+	return s.Jobs
+}

@@ -30,11 +30,13 @@ const (
 // errShutdown rejects submissions during drain.
 var errShutdown = errors.New("serve: shutting down")
 
-// Job kinds: registry experiment runs and scenario sweeps share the
-// job machinery but live under different URL namespaces.
+// Job kinds: registry experiment runs, scenario sweeps and trace
+// simulations share the job machinery but live under different URL
+// namespaces.
 const (
 	JobRun   = "run"
 	JobSweep = "sweep"
+	JobTrace = "trace"
 )
 
 // Job is one submitted run or sweep: a handle with its own identity,
@@ -63,10 +65,14 @@ type Job struct {
 
 // path returns the job's URL path under /v1.
 func (j *Job) path() string {
-	if j.Kind == JobSweep {
+	switch j.Kind {
+	case JobSweep:
 		return "/v1/sweeps/" + j.ID
+	case JobTrace:
+		return "/v1/traces/" + j.ID
+	default:
+		return "/v1/runs/" + j.ID
 	}
-	return "/v1/runs/" + j.ID
 }
 
 // Snapshot returns the job's current status, last progress report

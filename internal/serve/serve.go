@@ -32,14 +32,20 @@
 //	GET    /v1/sweeps/{id}                 status; when done, the result
 //	DELETE /v1/sweeps/{id}                 cancel a sweep
 //	GET    /v1/sweeps/{id}/events          SSE progress + per-point stream
+//	POST   /v1/traces                      submit a trace-driven scheduling simulation (spec or grid)
+//	GET    /v1/traces/{id}                 status; when done, the result
+//	DELETE /v1/traces/{id}                 cancel a trace simulation
+//	GET    /v1/traces/{id}/events          SSE progress + per-event (job start/finish) stream
 //
-// Scenarios and sweeps are the dynamic side of the API: the request
-// body declares a (topology × workload × policy) experiment or a
-// parameter grid of them (see internal/scenario and
-// internal/scenario/sweep), and the same coalescing cache and
-// per-cost-class admission apply — the scenario's cost class derives
-// from its size, a sweep's from its point count, so a hundred-point
-// sweep never starves cheap registry artifacts.
+// Scenarios, sweeps and traces are the dynamic side of the API: the
+// request body declares a (topology × workload × policy) experiment,
+// a parameter grid of them (see internal/scenario and
+// internal/scenario/sweep), or a trace-driven multi-job scheduling
+// simulation (see internal/sched/tracesim), and the same coalescing
+// cache and per-cost-class admission apply — the scenario's cost
+// class derives from its size, a sweep's from its point count, a
+// trace's from its job count, so a hundred-point sweep never starves
+// cheap registry artifacts.
 //
 // Result endpoints negotiate application/json (default), text/csv and
 // text/markdown via Accept or ?format=, and carry strong ETags: the
@@ -153,6 +159,10 @@ func newServer(opts Options, run runFunc) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents(JobSweep))
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceSubmit)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+	s.mux.HandleFunc("DELETE /v1/traces/{id}", s.handleTraceCancel)
+	s.mux.HandleFunc("GET /v1/traces/{id}/events", s.handleEvents(JobTrace))
 	return s
 }
 
@@ -181,15 +191,17 @@ func (s *Server) acquire(ctx context.Context, cost netpart.Cost) (release func()
 }
 
 // runTask executes one flight, dispatching on the key's namespace:
-// registry experiments, user-defined scenarios, and sweeps all take
-// an admission slot for their cost class first, then run on a fresh
-// Runner with the flight's options.
+// registry experiments, user-defined scenarios, sweeps and trace
+// simulations all take an admission slot for their cost class first,
+// then run on a fresh Runner with the flight's options.
 func (s *Server) runTask(ctx context.Context, key Key, opts netpart.RunOptions, payload any, publish func(streamEvent)) (*netpart.Result, error) {
 	switch {
 	case strings.HasPrefix(key.ID, "scenario:"):
 		return s.runScenario(ctx, key, opts, payload, publish)
 	case strings.HasPrefix(key.ID, "sweep:"):
 		return s.runSweep(ctx, key, opts, payload, publish)
+	case strings.HasPrefix(key.ID, "trace:"), strings.HasPrefix(key.ID, "tracegrid:"):
+		return s.runTrace(ctx, key, opts, payload, publish)
 	default:
 		return s.runExperiment(ctx, key, opts, publish)
 	}

@@ -52,9 +52,14 @@ func (s *sseWriter) comment() error {
 //	event: progress  every progress report (lossy under backpressure:
 //	                 intermediate reports may be dropped, the stream
 //	                 stays monotone)
-//	event: point     every completed sweep point (sweep jobs only;
-//	                 lossy under backpressure — the final result
-//	                 always carries every point)
+//	event: point     every completed sweep or trace-grid point (sweep
+//	                 and trace-grid jobs only; lossy under
+//	                 backpressure — the final result always carries
+//	                 every point)
+//	event: job       every job start/finish of a trace simulation, in
+//	                 simulation-time order (trace jobs only; lossy
+//	                 under backpressure — the final result carries
+//	                 every job)
 //	event: done      terminal snapshot (status done/failed/canceled),
 //	                 then the stream closes
 //

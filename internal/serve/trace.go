@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"netpart"
+	"netpart/internal/sched/tracesim"
+)
+
+// --- traces (asynchronous jobs) ---
+
+// maxTraceBody bounds the POST /v1/traces request body (inline traces
+// carry whole job lists, so they get the sweep allowance).
+const maxTraceBody = 4 << 20
+
+// traceTask is the parsed definition a trace flight executes: either
+// one trace spec or an expanded grid of them. Expanded points ride
+// along so admission cost and the content-hash ID are computed once
+// at submission.
+type traceTask struct {
+	spec   *netpart.TraceSpec
+	grid   *netpart.TraceGrid
+	points []tracesim.Point
+}
+
+// handleTraceSubmit accepts a trace simulation: the body is either a
+// bare trace spec or a grid document (recognized by its "base" or
+// "axes" keys) sweeping one over dot-path axes. The response is 202
+// with the job document and Location. The definition is normalized
+// (and grids expanded, hence fully validated) before the job is
+// created; identical concurrent submissions coalesce onto one
+// simulation while keeping distinct job identities.
+func (s *Server) handleTraceSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTraceBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad trace body: %v", err)
+		return
+	}
+	var probe struct {
+		Base json.RawMessage `json:"base"`
+		Axes json.RawMessage `json:"axes"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeError(w, http.StatusBadRequest, "bad trace body: %v", err)
+		return
+	}
+
+	var exp netpart.Experiment
+	var task *traceTask
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if probe.Base != nil || probe.Axes != nil {
+		var grid netpart.TraceGrid
+		if err := dec.Decode(&grid); err != nil {
+			writeError(w, http.StatusBadRequest, "bad trace grid body: %v", err)
+			return
+		}
+		points, err := grid.Expand()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		exp = netpart.Experiment{
+			ID:    tracesim.GridID(grid.Name, points),
+			Title: grid.Title(),
+			Kind:  netpart.KindTable,
+			Cost:  netpart.Cost(tracesim.GridCost(points)),
+		}
+		task = &traceTask{grid: &grid, points: points}
+	} else {
+		var spec netpart.TraceSpec
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, "bad trace body: %v", err)
+			return
+		}
+		norm, err := spec.Normalize()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		exp = netpart.Experiment{
+			ID:    norm.ID(),
+			Title: norm.Title(),
+			Kind:  netpart.KindTable,
+			Cost:  netpart.Cost(norm.Cost()),
+		}
+		task = &traceTask{spec: &norm}
+	}
+	job, err := s.jobs.submit(JobTrace, exp, Key{ID: exp.ID}, netpart.RunOptions{}, task)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.Header().Set("Location", job.path())
+	writeJSON(w, http.StatusAccepted, jobDocFor(job))
+}
+
+// handleTrace serves a trace job: the status document (including the
+// latest progress) while running, the negotiated result once done.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.lookup(r.PathValue("id"))
+	if !ok || job.Kind != JobTrace {
+		writeError(w, http.StatusNotFound, "no trace %q", r.PathValue("id"))
+		return
+	}
+	if e := job.Entry(); e != nil {
+		w.Header().Set("X-Netpart-Run", job.ID)
+		writeEntry(w, r, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobDocFor(job))
+}
+
+// handleTraceCancel cancels a trace job (idempotent); the underlying
+// simulation stops once no other job still wants its result.
+func (s *Server) handleTraceCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.lookup(r.PathValue("id"))
+	if !ok || job.Kind != JobTrace {
+		writeError(w, http.StatusNotFound, "no trace %q", r.PathValue("id"))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, jobDocFor(job))
+}
+
+// runTrace executes one trace flight: admission for the derived cost
+// class, then RunTrace (single spec, streaming per-event "job"
+// frames) or RunTraceGrid (grid, streaming per-point frames) on a
+// fresh Runner.
+func (s *Server) runTrace(ctx context.Context, key Key, opts netpart.RunOptions, payload any, publish func(streamEvent)) (*netpart.Result, error) {
+	task, ok := payload.(*traceTask)
+	if !ok {
+		return nil, errors.New("serve: trace flight without a definition payload")
+	}
+	cost := tracesim.GridCost(task.points)
+	if task.spec != nil {
+		cost = task.spec.Cost()
+	}
+	release, err := s.acquire(ctx, netpart.Cost(cost))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+	progress := func(p netpart.Progress) { publish(progressEvent(p)) }
+	runner := netpart.NewRunner(netpart.WithWorkers(workers), netpart.WithProgress(progress))
+	if task.spec != nil {
+		onEvent := func(ev netpart.TraceEvent) { publish(streamEvent{name: "job", data: ev}) }
+		return runner.RunTrace(ctx, *task.spec, onEvent)
+	}
+	onPoint := func(p netpart.TracePoint) { publish(streamEvent{name: "point", data: p}) }
+	return runner.RunTraceGrid(ctx, *task.grid, onPoint)
+}

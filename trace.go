@@ -1,0 +1,147 @@
+package netpart
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netpart/internal/experiments"
+	"netpart/internal/sched/tracesim"
+)
+
+// Trace-driven scheduling simulations: the third dynamic experiment
+// family after scenarios and sweeps. A TraceSpec replays a multi-job
+// trace (inline, synthetic or SWF-parsed) through the internal/sched
+// queue under a placement policy, with per-job contention scored at
+// placement time feeding runtime dilation back into the queue; a
+// TraceGrid sweeps such traces over dot-path axes (policy ×
+// arrival-rate grids). IDs ("trace:<hash>", "tracegrid:<hash>") are
+// content hashes of the normalized definition, so the serving layer's
+// coalescing cache treats traces exactly like every other experiment.
+
+// TraceSpec declares one trace simulation; see the
+// internal/sched/tracesim package documentation.
+type TraceSpec = tracesim.Spec
+
+// TraceJob is one inline trace entry.
+type TraceJob = tracesim.JobSpec
+
+// TraceSynthetic is the seeded synthetic trace generator.
+type TraceSynthetic = tracesim.Synthetic
+
+// TraceEvent is one simulator occurrence (job start/finish), streamed
+// in simulation-time order.
+type TraceEvent = tracesim.Event
+
+// TraceOutcome is the typed result of one trace simulation; it is the
+// Data payload of RunTrace's Result.
+type TraceOutcome = tracesim.Result
+
+// TraceGrid declares a parameter grid over a base trace.
+type TraceGrid = tracesim.Grid
+
+// TracePoint is one executed trace-grid point (streamed to
+// RunTraceGrid's onPoint callback and listed in TraceGridData.Points).
+type TracePoint = tracesim.PointResult
+
+// TraceGridData is the typed result of a trace grid; it is the Data
+// payload of RunTraceGrid's Result.
+type TraceGridData = tracesim.GridResult
+
+// RunTrace executes one trace-driven scheduling simulation and
+// returns a Result shaped exactly like a registry run: the
+// synthesized descriptor, the rendered metric table, and the typed
+// TraceOutcome in Data. onEvent (optional) receives every job
+// start/finish in simulation-time order; per-job progress flows
+// through the Runner's WithProgress callback (Done counts finished
+// jobs). Output is byte-deterministic for a given spec — synthetic
+// traces derive from the spec's seed — so Result encodings may be
+// cached and coalesced by Experiment.ID.
+func (r *Runner) RunTrace(ctx context.Context, spec TraceSpec, onEvent func(TraceEvent)) (*Result, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	exp := Experiment{
+		ID:    norm.ID(),
+		Title: norm.Title(),
+		Kind:  KindTable,
+		Cost:  Cost(norm.Cost()),
+	}
+	token := fmt.Sprintf("%s#%d", exp.ID, runSeq.Add(1))
+	opts := tracesim.Options{OnEvent: onEvent}
+	if r.progress != nil {
+		fn := r.progress
+		opts.OnProgress = func(done, total int) {
+			r.progressMu.Lock()
+			defer r.progressMu.Unlock()
+			fn(Progress{Experiment: exp.ID, Run: token, Done: done, Total: total})
+		}
+	}
+	start := time.Now()
+	out, err := tracesim.Run(ctx, norm, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Experiment: exp,
+		Table:      out.Table(),
+		Data:       out,
+		Meta: RunMeta{
+			Run:     token,
+			Workers: 1, // the event loop is sequential; the pool is for grids
+			Elapsed: time.Since(start),
+		},
+	}, nil
+}
+
+// RunTraceGrid expands the grid and executes its points on the
+// Runner's worker pool. onPoint (optional) receives every completed
+// point in completion order; per-point progress flows through the
+// Runner's WithProgress callback. Point failures are isolated into
+// TracePoint.Err — only context cancellation or an invalid grid fail
+// the run. The Result is byte-deterministic for a given grid
+// regardless of worker count.
+func (r *Runner) RunTraceGrid(ctx context.Context, grid TraceGrid, onPoint func(TracePoint)) (*Result, error) {
+	points, err := grid.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	exp := Experiment{
+		ID:    tracesim.GridID(grid.Name, points),
+		Title: grid.Title(),
+		Kind:  KindTable,
+		Cost:  Cost(tracesim.GridCost(points)),
+	}
+	token := fmt.Sprintf("%s#%d", exp.ID, runSeq.Add(1))
+	opts := tracesim.GridOptions{Workers: r.workers, OnPoint: onPoint}
+	if r.progress != nil {
+		fn := r.progress
+		opts.OnProgress = func(done, total int) {
+			r.progressMu.Lock()
+			defer r.progressMu.Unlock()
+			fn(Progress{Experiment: exp.ID, Run: token, Done: done, Total: total})
+		}
+	}
+	start := time.Now()
+	res, err := tracesim.RunGrid(ctx, grid, points, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Experiment: exp,
+		Table:      res.Table(exp.Title),
+		Data:       res,
+		Meta: RunMeta{
+			Run:     token,
+			Workers: experiments.Config{Workers: r.workers}.ResolvedWorkers(),
+			Elapsed: time.Since(start),
+		},
+	}, nil
+}
