@@ -1,0 +1,250 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"netpart/internal/torus"
+)
+
+func TestNormalizeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the error
+	}{
+		{"empty model", Spec{}, "unknown model"},
+		{"unknown model", Spec{Model: "meteor"}, "unknown model"},
+		{"factor NaN", Spec{Model: ModelRandomLinks, Factor: math.NaN(), Fraction: 0.1}, "capacity factor"},
+		{"factor negative", Spec{Model: ModelRandomLinks, Factor: -0.1, Fraction: 0.1}, "capacity factor"},
+		{"factor above one", Spec{Model: ModelRandomLinks, Factor: 1.5, Fraction: 0.1}, "capacity factor"},
+		{"random with explicit links", Spec{Model: ModelRandomLinks, Fraction: 0.1, Links: []int{1}}, "draws its elements from the seed"},
+		{"region with explicit midplanes", Spec{Model: ModelCorrelatedRegion, Fraction: 0.1, Midplanes: []int{1}}, "draws its elements from the seed"},
+		{"fraction NaN", Spec{Model: ModelRandomLinks, Fraction: math.NaN()}, "fraction"},
+		{"fraction negative", Spec{Model: ModelRandomMidplanes, Fraction: -0.5}, "fraction"},
+		{"fraction above one", Spec{Model: ModelRandomMidplanes, Fraction: 1.5}, "fraction"},
+		{"explicit with fraction", Spec{Model: ModelLinks, Links: []int{0}, Fraction: 0.5}, "fraction only applies"},
+		{"explicit with seed", Spec{Model: ModelLinks, Links: []int{0}, Seed: 7}, "seed only applies"},
+		{"links empty", Spec{Model: ModelLinks}, "non-empty links list"},
+		{"midplanes empty", Spec{Model: ModelMidplanes}, "non-empty midplanes list"},
+		{"links negative ID", Spec{Model: ModelLinks, Links: []int{3, -1}}, "negative"},
+		{"links takes links", Spec{Model: ModelLinks, Links: []int{0}, Midplanes: []int{0}}, "not midplanes"},
+		{"midplanes takes midplanes", Spec{Model: ModelMidplanes, Midplanes: []int{0}, Links: []int{0}}, "not links"},
+		{"window inverted", Spec{Model: ModelMidplanes, Midplanes: []int{0}, Windows: []Window{{StartSec: 5, EndSec: 5}}}, "forward interval"},
+		{"window negative start", Spec{Model: ModelMidplanes, Midplanes: []int{0}, Windows: []Window{{StartSec: -1, EndSec: 5}}}, "non-negative"},
+		{"window infinite end", Spec{Model: ModelMidplanes, Midplanes: []int{0}, Windows: []Window{{StartSec: 0, EndSec: math.Inf(1)}}}, "forward interval"},
+		{"windows overlap", Spec{Model: ModelMidplanes, Midplanes: []int{0}, Windows: []Window{{0, 10}, {5, 20}}}, "sorted and disjoint"},
+		{"windows unsorted", Spec{Model: ModelMidplanes, Midplanes: []int{0}, Windows: []Window{{50, 60}, {0, 10}}}, "sorted and disjoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.spec.Normalize()
+			if err == nil {
+				t.Fatalf("Normalize(%+v) = nil error, want %q", tc.spec, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+
+	many := make([]Window, MaxWindows+1)
+	for i := range many {
+		many[i] = Window{StartSec: float64(2 * i), EndSec: float64(2*i + 1)}
+	}
+	if _, err := (Spec{Model: ModelMidplanes, Midplanes: []int{0}, Windows: many}).Normalize(); err == nil {
+		t.Fatalf("expected window-bound error for %d windows", len(many))
+	}
+}
+
+func TestNormalizeCanonical(t *testing.T) {
+	n, err := Spec{Model: " Links ", Links: []int{5, 1, 5, 3}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Model != ModelLinks {
+		t.Fatalf("model %q", n.Model)
+	}
+	if want := []int{1, 3, 5}; !reflect.DeepEqual(n.Links, want) {
+		t.Fatalf("links %v, want sorted dedup %v", n.Links, want)
+	}
+	if n.Seed != 0 {
+		t.Fatalf("explicit model seed %d, want 0", n.Seed)
+	}
+
+	r, err := Spec{Model: ModelRandomMidplanes, Fraction: 0.25}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seed != DefaultSeed {
+		t.Fatalf("seed %d, want default %d", r.Seed, DefaultSeed)
+	}
+	// Factor 1 (explicit no-op) and Fraction 0 (healthy endpoint)
+	// normalize cleanly: they are the healthy ends of sweep axes.
+	if _, err := (Spec{Model: ModelRandomLinks, Factor: 1}).Normalize(); err != nil {
+		t.Fatalf("factor 1: %v", err)
+	}
+	if _, err := (Spec{Model: ModelRandomLinks, Fraction: 0}).Normalize(); err != nil {
+		t.Fatalf("fraction 0: %v", err)
+	}
+}
+
+// ringUniverse builds the link universe of an n-cycle.
+func ringUniverse(n int) Universe {
+	u := Universe{NumVertices: n}
+	for v := 0; v < n; v++ {
+		u.EndA = append(u.EndA, int32(v))
+		u.EndB = append(u.EndB, int32((v+1)%n))
+	}
+	return u
+}
+
+func TestResolveLinksDeterminism(t *testing.T) {
+	u := ringUniverse(40)
+	spec := Spec{Model: ModelRandomLinks, Fraction: 0.3, Seed: 11}
+	a, err := spec.ResolveLinks(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.ResolveLinks(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed resolved %v then %v", a, b)
+	}
+	if want := 12; len(a) != want {
+		t.Fatalf("fraction 0.3 of 40 links picked %d, want %d", len(a), want)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("result not sorted ascending: %v", a)
+		}
+	}
+	other, err := Spec{Model: ModelRandomLinks, Fraction: 0.3, Seed: 12}.ResolveLinks(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, other) {
+		t.Fatalf("seeds 11 and 12 picked the same set %v", a)
+	}
+}
+
+func TestResolveLinksBounds(t *testing.T) {
+	u := ringUniverse(8)
+	if _, err := (Spec{Model: ModelLinks, Links: []int{7}}).ResolveLinks(u); err != nil {
+		t.Fatalf("in-range link: %v", err)
+	}
+	if _, err := (Spec{Model: ModelLinks, Links: []int{8}}).ResolveLinks(u); err == nil {
+		t.Fatal("link 8 of 8 should be out of range")
+	}
+	if _, err := (Spec{Model: ModelMidplanes, Midplanes: []int{0}}).ResolveLinks(u); err == nil {
+		t.Fatal("midplane model is not link-scoped")
+	}
+}
+
+func TestRegionLinksContiguous(t *testing.T) {
+	u := ringUniverse(64)
+	region, err := Spec{Model: ModelCorrelatedRegion, Fraction: 0.25, Seed: 3}.ResolveLinks(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 16; len(region) != want {
+		t.Fatalf("region size %d, want %d", len(region), want)
+	}
+	// On a cycle, a BFS-grown link region is a contiguous arc: the
+	// sorted link IDs form one run (possibly wrapping through 0).
+	gaps := 0
+	for i := 0; i < len(region); i++ {
+		next := region[(i+1)%len(region)]
+		if (region[i]+1)%len(u.EndA) != next && i != len(region)-1 {
+			gaps++
+		}
+	}
+	if len(region) > 1 {
+		last, first := region[len(region)-1], region[0]
+		if (last+1)%len(u.EndA) != first {
+			gaps++
+		}
+	}
+	if gaps > 1 {
+		t.Fatalf("region %v has %d gaps on the cycle; want a contiguous arc", region, gaps)
+	}
+}
+
+func TestResolveMidplanes(t *testing.T) {
+	grid := torus.Shape{2, 2, 2, 4}
+	cells, err := Spec{Model: ModelRandomMidplanes, Fraction: 0.25, Seed: 5}.ResolveMidplanes(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8; len(cells) != want {
+		t.Fatalf("fraction 0.25 of 32 cells picked %d, want %d", len(cells), want)
+	}
+	again, err := Spec{Model: ModelRandomMidplanes, Fraction: 0.25, Seed: 5}.ResolveMidplanes(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells, again) {
+		t.Fatalf("same seed resolved %v then %v", cells, again)
+	}
+
+	if _, err := (Spec{Model: ModelMidplanes, Midplanes: []int{31}}).ResolveMidplanes(grid); err != nil {
+		t.Fatalf("in-range midplane: %v", err)
+	}
+	if _, err := (Spec{Model: ModelMidplanes, Midplanes: []int{32}}).ResolveMidplanes(grid); err == nil {
+		t.Fatal("midplane 32 of 32 should be out of range")
+	}
+}
+
+func TestRegionMidplanesContiguous(t *testing.T) {
+	grid := torus.Shape{4, 4, 4}
+	region, err := Spec{Model: ModelCorrelatedRegion, Fraction: 0.2, Seed: 9}.ResolveMidplanes(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 13; len(region) != want { // round(0.2 * 64)
+		t.Fatalf("region size %d, want %d", len(region), want)
+	}
+	// The region must be connected on the midplane torus: BFS inside
+	// the region from its first cell reaches every cell.
+	tor, err := torus.New(grid...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[int]bool{}
+	for _, c := range region {
+		in[c] = true
+	}
+	seen := map[int]bool{region[0]: true}
+	queue := []int{region[0]}
+	var nbuf []int
+	for qi := 0; qi < len(queue); qi++ {
+		nbuf = tor.Neighbors(queue[qi], nbuf[:0])
+		for _, w := range nbuf {
+			if in[w] && !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(seen) != len(region) {
+		t.Fatalf("region reaches %d of its %d cells; not connected: %v", len(seen), len(region), region)
+	}
+}
+
+func TestKeyStable(t *testing.T) {
+	a, err := Spec{Model: ModelRandomLinks, Fraction: 0.1}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Spec{Model: "RANDOM_LINKS", Fraction: 0.1}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("equivalent specs key differently:\n%s\n%s", a.Key(), b.Key())
+	}
+}

@@ -25,6 +25,22 @@ const (
 	Minus Dir = 1
 )
 
+// DisconnectedError reports a demand whose endpoints have no
+// surviving route: min-hop routing found no path on the failed
+// topology, or a dimension-ordered route crosses a failed link (DOR
+// paths are fixed, so a failure on the path is a disconnection).
+// Callers isolate it per demand or per sweep point instead of
+// aborting whole grids.
+type DisconnectedError struct {
+	Src, Dst int
+	// Routing names the discipline that failed ("dor" or "minhop").
+	Routing string
+}
+
+func (e *DisconnectedError) Error() string {
+	return fmt.Sprintf("route: no %s route from %d to %d (failures disconnect the endpoints)", e.Routing, e.Src, e.Dst)
+}
+
 // Router computes routes and link identifiers for one torus.
 type Router struct {
 	tor     *torus.Torus

@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"netpart/internal/faults"
+	"netpart/internal/route"
+)
+
+func TestScenarioFailureNormalizeRejections(t *testing.T) {
+	torus44 := TopologySpec{Kind: KindTorus, Shape: "4x4"}
+	partition := TopologySpec{Kind: KindPartition, Machine: "juqueen", Midplanes: 4, Policy: PolicyFirstFit}
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{
+			"windows on static scenario",
+			Spec{Topology: torus44, Workload: WorkloadSpec{Pattern: PatternPairing},
+				Failures: &faults.Spec{Model: faults.ModelLinks, Links: []int{0}, Windows: []faults.Window{{StartSec: 0, EndSec: 10}}}},
+			"no meaning in a static scenario",
+		},
+		{
+			"midplanes on torus",
+			Spec{Topology: torus44, Workload: WorkloadSpec{Pattern: PatternPairing},
+				Failures: &faults.Spec{Model: faults.ModelMidplanes, Midplanes: []int{0}}},
+			"only partition topologies",
+		},
+		{
+			"midplanes without placement policy",
+			Spec{Topology: TopologySpec{Kind: KindPartition, Machine: "juqueen", Midplanes: 4},
+				Workload: WorkloadSpec{Pattern: PatternPairing},
+				Failures: &faults.Spec{Model: faults.ModelRandomMidplanes, Fraction: 0.1}},
+			"placement policy",
+		},
+		{
+			"fractional midplane factor",
+			Spec{Topology: partition, Workload: WorkloadSpec{Pattern: PatternPairing},
+				Failures: &faults.Spec{Model: faults.ModelMidplanes, Midplanes: []int{0}, Factor: 0.5}},
+			"removed whole",
+		},
+		{
+			"midplane out of range",
+			Spec{Topology: partition, Workload: WorkloadSpec{Pattern: PatternPairing},
+				Failures: &faults.Spec{Model: faults.ModelMidplanes, Midplanes: []int{56}}},
+			"out of range",
+		},
+		{
+			"explicit links on partition",
+			Spec{Topology: partition, Workload: WorkloadSpec{Pattern: PatternPairing},
+				Failures: &faults.Spec{Model: faults.ModelLinks, Links: []int{0}}},
+			"policy-chosen geometry",
+		},
+		{
+			"link out of range",
+			Spec{Topology: torus44, Workload: WorkloadSpec{Pattern: PatternPairing},
+				Failures: &faults.Spec{Model: faults.ModelLinks, Links: []int{32}}}, // 4x4 torus has 32 edges
+			"out of range",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.spec.Normalize()
+			if err == nil {
+				t.Fatalf("accepted, want %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDegradedLinksScaleStatic: degrading every link by factor f
+// scales the static bottleneck time by exactly 1/f, and the outcome
+// carries the healthy baseline and that ratio as the degradation.
+func TestDegradedLinksScaleStatic(t *testing.T) {
+	out := run(t, Spec{
+		Topology: TopologySpec{Kind: KindTorus, Shape: "4x4"},
+		Workload: WorkloadSpec{Pattern: PatternPairing},
+		Failures: &faults.Spec{Model: faults.ModelRandomLinks, Fraction: 1, Factor: 0.5},
+	})
+	if out.DegradedLinks != 32 || out.FailedLinks != 0 || out.CapacityFactor != 0.5 {
+		t.Fatalf("degraded=%d failed=%d factor=%v", out.DegradedLinks, out.FailedLinks, out.CapacityFactor)
+	}
+	h := out.Healthy
+	if h == nil {
+		t.Fatal("no healthy baseline on a failed scenario")
+	}
+	if math.Abs(out.StaticSec-2*h.StaticSec) > 1e-9*h.StaticSec {
+		t.Fatalf("static %v, want 2x healthy %v", out.StaticSec, h.StaticSec)
+	}
+	if math.Abs(h.DegradationX-2) > 1e-9 {
+		t.Fatalf("degradation %v, want 2", h.DegradationX)
+	}
+	// The rendered table names the failure model and the delta.
+	table := out.Table().Render()
+	for _, want := range []string{"failure model", "degradation (x)", "healthy static (s)"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestDORFailedLinksDisconnect: DOR paths are fixed, so removing
+// every link makes each demand report a typed disconnection rather
+// than aborting with an untyped error.
+func TestDORFailedLinksDisconnect(t *testing.T) {
+	_, err := Run(context.Background(), Spec{
+		Topology: TopologySpec{Kind: KindTorus, Shape: "4x4"},
+		Workload: WorkloadSpec{Pattern: PatternPairing},
+		Failures: &faults.Spec{Model: faults.ModelRandomLinks, Fraction: 1, Factor: 0},
+	})
+	var dis *route.DisconnectedError
+	if !errors.As(err, &dis) {
+		t.Fatalf("err = %v, want DisconnectedError", err)
+	}
+	if dis.Routing != RoutingDOR {
+		t.Fatalf("routing = %q", dis.Routing)
+	}
+}
+
+// TestMinhopReroutesAroundFailure: the graph-routed family recomputes
+// shortest paths, so one removed link merely reroutes. The outcome
+// still reports the failure and the delta vs the healthy baseline
+// (which can even be < 1: a removed link may happen to rebalance the
+// shortest-path multiset).
+func TestMinhopReroutesAroundFailure(t *testing.T) {
+	out := run(t, Spec{
+		Topology: TopologySpec{Kind: KindTorus, Shape: "4x4"},
+		Workload: WorkloadSpec{Pattern: PatternPairing},
+		Routing:  RoutingMinHop,
+		Failures: &faults.Spec{Model: faults.ModelLinks, Links: []int{0}},
+	})
+	if out.FailedLinks != 1 {
+		t.Fatalf("failed links %d", out.FailedLinks)
+	}
+	if out.Healthy == nil || out.Healthy.DegradationX <= 0 {
+		t.Fatalf("healthy baseline %+v", out.Healthy)
+	}
+}
+
+// TestFailedMidplanesRelocatePartition: blocking cells forces the
+// placement policy to choose a different geometry; the scenario still
+// runs and reports the robustness delta.
+func TestFailedMidplanesRelocatePartition(t *testing.T) {
+	out := run(t, Spec{
+		Topology: TopologySpec{Kind: KindPartition, Machine: "juqueen", Midplanes: 8, Policy: PolicyBestBisection},
+		Workload: WorkloadSpec{Pattern: PatternPairing},
+		Failures: &faults.Spec{Model: faults.ModelRandomMidplanes, Fraction: 0.25},
+	})
+	if out.FailedMidplanes == 0 {
+		t.Fatal("no failed midplanes reported")
+	}
+	if out.Healthy == nil || out.Healthy.DegradationX <= 0 {
+		t.Fatalf("healthy baseline %+v", out.Healthy)
+	}
+}
+
+// FuzzMinhopFailures deletes a random fraction of links and asserts
+// the disconnection contract: a run either succeeds (every demand
+// rerouted) or fails with the typed DisconnectedError — never a
+// panic, never an untyped grid abort.
+func FuzzMinhopFailures(f *testing.F) {
+	f.Add(int64(1), 0.3)
+	f.Add(int64(7), 0.95)
+	f.Add(int64(42), 0.05)
+	f.Add(int64(-9), 0.6)
+	f.Fuzz(func(t *testing.T, seed int64, frac float64) {
+		if math.IsNaN(frac) || math.IsInf(frac, 0) {
+			t.Skip()
+		}
+		frac = math.Abs(math.Mod(frac, 1))
+		for _, routing := range []string{RoutingMinHop, RoutingDOR} {
+			out, err := Run(context.Background(), Spec{
+				Topology: TopologySpec{Kind: KindTorus, Shape: "4x4"},
+				Workload: WorkloadSpec{Pattern: PatternPairing},
+				Routing:  routing,
+				Failures: &faults.Spec{Model: faults.ModelRandomLinks, Fraction: frac, Seed: seed},
+			})
+			if err != nil {
+				var dis *route.DisconnectedError
+				if !errors.As(err, &dis) {
+					t.Fatalf("%s frac=%v seed=%d: untyped error %v", routing, frac, seed, err)
+				}
+				if dis.Routing != routing {
+					t.Fatalf("disconnection blames %q under %q", dis.Routing, routing)
+				}
+				continue
+			}
+			if out.StaticSec <= 0 || math.IsInf(out.StaticSec, 0) || math.IsNaN(out.StaticSec) {
+				t.Fatalf("%s frac=%v seed=%d: static %v", routing, frac, seed, out.StaticSec)
+			}
+			if frac > 0 && out.FailedLinks == 0 && len(out.Spec.Failures.Links) > 0 {
+				t.Fatalf("%s: failures resolved but not reported", routing)
+			}
+		}
+	})
+}

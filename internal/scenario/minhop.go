@@ -29,6 +29,12 @@ type graphNet struct {
 	endB []int32 // larger endpoint of edge e
 	w    []float64
 
+	// Failure state (nil when healthy): failed edges disappear from
+	// the BFS adjacency, degraded edges keep routing at scaled
+	// capacity.
+	failedEdge []bool
+	edgeScale  []float64
+
 	// BFS scratch, reused across sources (single-threaded use per
 	// scenario run).
 	dist       []int32
@@ -36,6 +42,9 @@ type graphNet struct {
 	parentEdge []int32
 	queue      []int32
 	treeSrc    int32 // source of the current scratch tree, -1 if none
+	// treeFaulted records whether the cached tree skipped failed
+	// edges (routing mode) or saw the full adjacency (workload mode).
+	treeFaulted bool
 }
 
 func newGraphNet(g *graph.Graph) *graphNet {
@@ -106,25 +115,68 @@ func (gn *graphNet) linkString(l int) string {
 
 // capacities returns per-directed-link capacities: edge weight times
 // the base link rate (weights model trunked or faster links, as in
-// the Dragonfly's black/blue links).
+// the Dragonfly's black/blue links), scaled by the degradation factor
+// of degraded edges. Failed edges keep their nominal capacity — they
+// are unreachable by routing, and the flow simulator requires every
+// capacity to be positive.
 func (gn *graphNet) capacities(baseBps float64) []float64 {
 	caps := make([]float64, gn.numLinks())
 	for e := 0; e < gn.numEdges; e++ {
-		caps[2*e] = gn.w[e] * baseBps
-		caps[2*e+1] = gn.w[e] * baseBps
+		c := gn.w[e] * baseBps
+		if gn.edgeScale != nil {
+			c *= gn.edgeScale[e]
+		}
+		caps[2*e] = c
+		caps[2*e+1] = c
 	}
 	return caps
 }
 
-// tree runs (or reuses) the deterministic BFS tree rooted at src: a
-// FIFO BFS whose neighbour exploration follows the CSR rows, which
-// are sorted ascending — so every vertex's parent is the smallest
+// applyFaults installs a resolved link failure set: factor 0 removes
+// the affected edges from the BFS adjacency (routes re-route around
+// them; unreachable endpoints become DisconnectedErrors), a factor in
+// (0,1) scales their capacity. Any cached BFS tree is invalidated.
+func (gn *graphNet) applyFaults(edges []int, factor float64) {
+	if len(edges) == 0 || factor == 1 {
+		return
+	}
+	if factor == 0 {
+		gn.failedEdge = make([]bool, gn.numEdges)
+		for _, e := range edges {
+			gn.failedEdge[e] = true
+		}
+	} else {
+		gn.edgeScale = make([]float64, gn.numEdges)
+		for e := range gn.edgeScale {
+			gn.edgeScale[e] = 1
+		}
+		for _, e := range edges {
+			gn.edgeScale[e] = factor
+		}
+	}
+	gn.treeSrc = -1
+}
+
+// tree runs (or reuses) the deterministic BFS tree rooted at src on
+// the faulted adjacency (failed edges skipped): a FIFO BFS whose
+// neighbour exploration follows the CSR rows, which are sorted
+// ascending — so every vertex's parent is the smallest
 // earliest-discovered predecessor and routes are reproducible.
-func (gn *graphNet) tree(src int32) {
-	if gn.treeSrc == src {
+func (gn *graphNet) tree(src int32) { gn.buildTree(src, true) }
+
+// healthyTree is tree on the full adjacency, failures ignored. The
+// workload generators use it: a demand set is a property of the
+// topology, not of the failure overlay — pairing partners must not
+// shift (or vanish) when links fail, or the healthy baseline would
+// compare a different workload.
+func (gn *graphNet) healthyTree(src int32) { gn.buildTree(src, false) }
+
+func (gn *graphNet) buildTree(src int32, faulted bool) {
+	if gn.treeSrc == src && gn.treeFaulted == faulted {
 		return
 	}
 	gn.treeSrc = src
+	gn.treeFaulted = faulted
 	for i := range gn.dist {
 		gn.dist[i] = -1
 		gn.parent[i] = -1
@@ -136,6 +188,9 @@ func (gn *graphNet) tree(src int32) {
 		u := gn.queue[qi]
 		for s := gn.off[u]; s < gn.off[u+1]; s++ {
 			v := gn.to[s]
+			if faulted && gn.failedEdge != nil && gn.failedEdge[gn.eid[s]] {
+				continue
+			}
 			if gn.dist[v] < 0 {
 				gn.dist[v] = gn.dist[u] + 1
 				gn.parent[v] = u
@@ -151,7 +206,7 @@ func (gn *graphNet) tree(src int32) {
 // order.
 func (gn *graphNet) routeTo(dst int32, buf []int) ([]int, error) {
 	if gn.dist[dst] < 0 {
-		return nil, fmt.Errorf("scenario: vertex %d unreachable from %d (disconnected topology)", dst, gn.treeSrc)
+		return nil, &route.DisconnectedError{Src: int(gn.treeSrc), Dst: int(dst), Routing: RoutingMinHop}
 	}
 	start := len(buf)
 	for v := dst; gn.parent[v] >= 0; v = gn.parent[v] {
@@ -187,7 +242,7 @@ func (gn *graphNet) furthest(src int32) int32 {
 func (gn *graphNet) pairing(bytes float64) []route.Demand {
 	demands := make([]route.Demand, 0, gn.n)
 	for v := int32(0); v < int32(gn.n); v++ {
-		gn.tree(v)
+		gn.healthyTree(v)
 		if f := gn.furthest(v); f != v {
 			demands = append(demands, route.Demand{Src: int(v), Dst: int(f), Bytes: bytes})
 		}

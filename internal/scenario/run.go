@@ -47,6 +47,32 @@ type Outcome struct {
 	// Flow-level simulation (Spec.Sim).
 	SimSec    float64 `json:"sim_sec,omitempty"`
 	SimRounds int     `json:"sim_rounds,omitempty"`
+
+	// Failure reporting (Spec.Failures). FailedLinks counts links
+	// removed from routing (factor 0), DegradedLinks links running at
+	// CapacityFactor, FailedMidplanes machine cells excluded from the
+	// candidate enumeration.
+	FailedLinks     int     `json:"failed_links,omitempty"`
+	DegradedLinks   int     `json:"degraded_links,omitempty"`
+	FailedMidplanes int     `json:"failed_midplanes,omitempty"`
+	CapacityFactor  float64 `json:"capacity_factor,omitempty"`
+	// Healthy is the baseline of the same spec with failures stripped,
+	// plus the robustness deltas against it. Set iff Spec.Failures is.
+	Healthy *Robustness `json:"healthy,omitempty"`
+}
+
+// Robustness is the healthy baseline of a failed scenario and the
+// deltas the failure cost: DegradationX is failed/healthy static
+// bottleneck time (>= 1 when the failure hurts), ContentionDeltaX the
+// same ratio of contention factors (isolating route-quality loss from
+// raw capacity loss).
+type Robustness struct {
+	IdealSec         float64 `json:"ideal_sec"`
+	StaticSec        float64 `json:"static_sec"`
+	ContentionX      float64 `json:"contention_x"`
+	SimSec           float64 `json:"sim_sec,omitempty"`
+	DegradationX     float64 `json:"degradation_x"`
+	ContentionDeltaX float64 `json:"contention_delta_x"`
 }
 
 // Run executes the scenario: normalize, resolve the topology, build
@@ -151,6 +177,38 @@ func Run(ctx context.Context, spec Spec) (*Outcome, error) {
 		out.SimSec = simSec
 		out.SimRounds = norm.Sim.Rounds
 	}
+
+	// Robustness: report the failure's blast radius and run the
+	// healthy twin of the same spec for the baseline deltas.
+	if f := norm.Failures; f != nil {
+		if f.Factor > 0 && f.Factor < 1 {
+			out.DegradedLinks = len(net.faultLinks)
+			out.CapacityFactor = f.Factor
+		} else if f.Factor == 0 {
+			out.FailedLinks = len(net.faultLinks)
+		}
+		out.FailedMidplanes = len(net.faultMidplanes)
+
+		healthy := norm
+		healthy.Failures = nil
+		h, err := Run(ctx, healthy)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: healthy baseline: %w", err)
+		}
+		rb := &Robustness{
+			IdealSec:    h.IdealSec,
+			StaticSec:   h.StaticSec,
+			ContentionX: h.ContentionX,
+			SimSec:      h.SimSec,
+		}
+		if h.StaticSec > 0 {
+			rb.DegradationX = out.StaticSec / h.StaticSec
+		}
+		if h.ContentionX > 0 {
+			rb.ContentionDeltaX = out.ContentionX / h.ContentionX
+		}
+		out.Healthy = rb
+	}
 	return out, nil
 }
 
@@ -201,7 +259,17 @@ func (s Spec) routesAndCapacities(net *network, demands []route.Demand) ([][]int
 		flat := make([]int, 0, len(demands)*8)
 		bounds := make([]int, len(demands)+1)
 		for i, d := range demands {
+			start := len(flat)
 			flat = r.Route(d.Src, d.Dst, flat)
+			if net.dorFailed != nil {
+				// DOR paths are fixed; a failed link on the path means
+				// the demand's endpoints are disconnected.
+				for _, l := range flat[start:] {
+					if net.dorFailed[l] {
+						return nil, nil, nil, &route.DisconnectedError{Src: d.Src, Dst: d.Dst, Routing: RoutingDOR}
+					}
+				}
+			}
 			bounds[i+1] = len(flat)
 		}
 		for i := range routes {
@@ -210,6 +278,9 @@ func (s Spec) routesAndCapacities(net *network, demands []route.Demand) ([][]int
 		caps := make([]float64, r.NumLinks())
 		for i := range caps {
 			caps[i] = model.LinkBytesPerSec
+			if net.dorCap != nil {
+				caps[i] *= net.dorCap[i]
+			}
 		}
 		return routes, caps, r.LinkString, nil
 	}
@@ -275,6 +346,24 @@ func (o *Outcome) Table() tabulate.Table {
 	if o.Spec.Sim.Enabled {
 		t.AddRow("simulated (s)", o.SimSec)
 		t.AddRow("simulated rounds", o.SimRounds)
+	}
+	if f := o.Spec.Failures; f != nil {
+		t.AddRow("failure model", f.Model)
+		if o.FailedLinks > 0 {
+			t.AddRow("failed links", o.FailedLinks)
+		}
+		if o.DegradedLinks > 0 {
+			t.AddRow("degraded links", o.DegradedLinks)
+			t.AddRow("capacity factor", o.CapacityFactor)
+		}
+		if o.FailedMidplanes > 0 {
+			t.AddRow("failed midplanes", o.FailedMidplanes)
+		}
+		if h := o.Healthy; h != nil {
+			t.AddRow("healthy static (s)", h.StaticSec)
+			t.AddRow("degradation (x)", h.DegradationX)
+			t.AddRow("contention delta (x)", h.ContentionDeltaX)
+		}
 	}
 	return t
 }

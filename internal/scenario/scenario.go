@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"netpart/internal/bgq"
+	"netpart/internal/faults"
 	"netpart/internal/torus"
 	"netpart/internal/workload"
 )
@@ -180,6 +181,12 @@ type Spec struct {
 	// family, min-hop for the graph family).
 	Routing string  `json:"routing,omitempty"`
 	Sim     SimSpec `json:"sim,omitempty"`
+	// Failures injects a static failure/degradation model: failed or
+	// degraded links (any kind) or failed midplanes (partition kind
+	// with a placement policy). Nil means healthy. When set, the
+	// outcome also carries the healthy baseline of the same spec and
+	// the robustness deltas against it.
+	Failures *faults.Spec `json:"failures,omitempty"`
 }
 
 // torusFamily reports whether the kind resolves to a torus routed
@@ -398,6 +405,52 @@ func (s Spec) Normalize() (Spec, error) {
 		return Spec{}, fmt.Errorf("scenario: sim rounds set but sim not enabled")
 	}
 
+	// Failures: normalize the embedded spec and validate it against
+	// the topology (model/kind compatibility, explicit ID bounds).
+	if s.Failures != nil {
+		f, err := s.Failures.Normalize()
+		if err != nil {
+			return Spec{}, err
+		}
+		if len(f.Windows) > 0 {
+			return Spec{}, fmt.Errorf("scenario: failure windows have no meaning in a static scenario; use a trace simulation for time-varying outages")
+		}
+		if f.MidplaneScoped() {
+			if t.Kind != KindPartition {
+				return Spec{}, fmt.Errorf("scenario: failure model %s fails midplanes, which only partition topologies have", f.Model)
+			}
+			switch t.Policy {
+			case PolicyFirstFit, PolicyBestBisection, PolicyContentionAware:
+			default:
+				return Spec{}, fmt.Errorf("scenario: failure model %s needs a placement policy that can avoid failed midplanes (first-fit, best-bisection or contention-aware), not %s", f.Model, t.Policy)
+			}
+			if f.Factor != 0 {
+				return Spec{}, fmt.Errorf("scenario: failed midplanes are removed whole; capacity factors only apply to link models")
+			}
+			if f.Model == faults.ModelMidplanes {
+				m, err := resolveMachine(t.Machine)
+				if err != nil {
+					return Spec{}, err
+				}
+				if top := f.Midplanes[len(f.Midplanes)-1]; top >= m.Midplanes() {
+					return Spec{}, fmt.Errorf("scenario: failed midplane %d out of range (%s has %d midplanes)", top, t.Machine, m.Midplanes())
+				}
+			}
+		} else if f.Model == faults.ModelLinks {
+			if t.Kind == KindPartition {
+				return Spec{}, fmt.Errorf("scenario: explicit link IDs on a partition depend on the policy-chosen geometry; use random_links or correlated_region")
+			}
+			edges, err := countEdges(*t)
+			if err != nil {
+				return Spec{}, err
+			}
+			if top := f.Links[len(f.Links)-1]; top >= edges {
+				return Spec{}, fmt.Errorf("scenario: failed link %d out of range (topology has %d links)", top, edges)
+			}
+		}
+		n.Failures = &f
+	}
+
 	return n, nil
 }
 
@@ -509,6 +562,9 @@ func (s Spec) Title() string {
 		topo = t.Kind
 	}
 	title := topo + " · " + s.Workload.Pattern
+	if s.Failures != nil {
+		title += " · " + s.Failures.Model
+	}
 	if s.Sim.Enabled {
 		title += " · simulated"
 	}

@@ -155,7 +155,7 @@ func (r *Result) Table(title string) tabulate.Table {
 	headers := []string{"#"}
 	headers = append(headers, r.AxisPaths...)
 	headers = append(headers, "vertices", "demands", "geometry", "bisect BW",
-		"ideal (s)", "static (s)", "contention", "sim (s)", "error")
+		"ideal (s)", "static (s)", "contention", "sim (s)", "Δstatic", "error")
 	t := tabulate.Table{Title: title, Headers: headers}
 	for _, p := range r.Points {
 		row := make([]any, 0, len(headers))
@@ -178,10 +178,16 @@ func (r *Result) Table(title string) tabulate.Table {
 			if o.Spec.Sim.Enabled {
 				sim = tabulate.FormatFloat(o.SimSec)
 			}
+			// Δstatic is the degradation vs the healthy baseline of the
+			// same point; "-" for points without a failure model.
+			dstatic := "-"
+			if o.Healthy != nil {
+				dstatic = tabulate.FormatFloat(o.Healthy.DegradationX)
+			}
 			row = append(row, o.Vertices, o.Demands, geo, bw,
-				o.IdealSec, o.StaticSec, o.ContentionX, sim, "")
+				o.IdealSec, o.StaticSec, o.ContentionX, sim, dstatic, "")
 		} else {
-			row = append(row, "-", "-", "-", "-", "-", "-", "-", "-", p.Err)
+			row = append(row, "-", "-", "-", "-", "-", "-", "-", "-", "-", p.Err)
 		}
 		t.AddRow(row...)
 	}

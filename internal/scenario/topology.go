@@ -6,6 +6,7 @@ import (
 
 	"netpart/internal/bgq"
 	"netpart/internal/experiments"
+	"netpart/internal/faults"
 	"netpart/internal/graph"
 	"netpart/internal/route"
 	"netpart/internal/sched"
@@ -27,6 +28,17 @@ type network struct {
 
 	// partition metadata (KindPartition only)
 	partition *bgq.Partition
+
+	// Resolved failure state. faultLinks are the affected undirected
+	// links; faultMidplanes the blocked machine cells; faultFactor the
+	// capacity multiplier (0 = removed). The DOR backend additionally
+	// materializes per-directed-link views (the graph backend applies
+	// failures inside graphNet's BFS and capacity vectors).
+	faultLinks     []int
+	faultMidplanes []int
+	faultFactor    float64
+	dorFailed      []bool    // per directed link: removed from routing
+	dorCap         []float64 // per directed link: capacity multiplier
 }
 
 // catalogMachine reports whether name is a built-in machine.
@@ -81,8 +93,11 @@ func resolveMachine(name string) (*bgq.Machine, error) {
 // machine: the bgq geometry policies answer directly; the sched
 // placement policies place a single contention-bound job on the empty
 // machine (driving the same candidate enumeration and Choose path the
-// scheduler uses).
-func resolvePartition(t TopologySpec) (*bgq.Machine, bgq.Partition, error) {
+// scheduler uses). blocked lists failed midplane cells the candidate
+// enumeration must avoid (sched policies only; Normalize rejects
+// midplane failures for the bgq geometry policies, which pick a
+// geometry without a location).
+func resolvePartition(t TopologySpec, blocked []int) (*bgq.Machine, bgq.Partition, error) {
 	m, err := resolveMachine(t.Machine)
 	if err != nil {
 		return nil, bgq.Partition{}, err
@@ -114,8 +129,16 @@ func resolvePartition(t TopologySpec) (*bgq.Machine, bgq.Partition, error) {
 			return nil, bgq.Partition{}, fmt.Errorf("scenario: unknown sched policy %q", t.Policy)
 		}
 		grid := sched.NewGrid(m)
+		if len(blocked) > 0 {
+			if err := grid.BlockCells(blocked); err != nil {
+				return nil, bgq.Partition{}, fmt.Errorf("scenario: %w", err)
+			}
+		}
 		cands := grid.Candidates(t.Midplanes)
 		if len(cands) == 0 {
+			if len(blocked) > 0 {
+				return nil, bgq.Partition{}, fmt.Errorf("scenario: no %d-midplane cuboid fits %s with %d failed midplanes", t.Midplanes, m.Name, len(blocked))
+			}
 			return nil, bgq.Partition{}, fmt.Errorf("scenario: no %d-midplane cuboid fits %s", t.Midplanes, m.Name)
 		}
 		// The single job is declared contention-bound: that is the
@@ -181,9 +204,27 @@ func mustShape(s string) torus.Shape {
 	return sh
 }
 
-// resolve builds the routing backend for a normalized spec.
+// resolve builds the routing backend for a normalized spec and
+// applies its failure model: failed midplanes constrain the candidate
+// enumeration before the partition is chosen; failed/degraded links
+// are resolved against the backend's deterministic link universe.
 func (s Spec) resolve() (*network, error) {
 	t := s.Topology
+
+	// Midplane-scoped failures block cells before placement.
+	var blockedCells []int
+	if f := s.Failures; f != nil && f.MidplaneScoped() {
+		m, err := resolveMachine(t.Machine)
+		if err != nil {
+			return nil, err
+		}
+		blockedCells, err = f.ResolveMidplanes(m.Grid)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var net *network
 	if s.Routing == RoutingDOR {
 		var tor *torus.Torus
 		var err error
@@ -202,7 +243,7 @@ func (s Spec) resolve() (*network, error) {
 			label = fmt.Sprintf("hypercube Q%d", t.Dim)
 		case KindPartition:
 			var p bgq.Partition
-			_, p, err = resolvePartition(t)
+			_, p, err = resolvePartition(t, blockedCells)
 			if err == nil {
 				part = &p
 				tor, err = torus.New(p.NodeShape()...)
@@ -214,44 +255,172 @@ func (s Spec) resolve() (*network, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &network{
+		net = &network{
 			label:     label,
 			vertices:  tor.NumVertices(),
 			edges:     tor.NumEdges(),
 			router:    route.NewRouter(tor),
 			tor:       tor,
 			partition: part,
-		}, nil
+		}
+	} else {
+		var g *graph.Graph
+		var label string
+		var part *bgq.Partition
+		if t.Kind == KindPartition {
+			// Resolve the policy once; the explicit graph is the node-level
+			// torus of the selected partition.
+			_, p, err := resolvePartition(t, blockedCells)
+			if err != nil {
+				return nil, err
+			}
+			tor, err := torus.New(p.NodeShape()...)
+			if err != nil {
+				return nil, err
+			}
+			g, label, part = topo.FromTorus(tor), fmt.Sprintf("partition %s of %s", p, t.Machine), &p
+		} else {
+			var err error
+			g, label, err = buildGraph(t)
+			if err != nil {
+				return nil, err
+			}
+		}
+		gn := newGraphNet(g)
+		net = &network{
+			label:     label,
+			vertices:  g.N(),
+			edges:     gn.numEdges,
+			gnet:      gn,
+			partition: part,
+		}
 	}
 
-	var g *graph.Graph
-	var label string
-	var part *bgq.Partition
-	if t.Kind == KindPartition {
-		// Resolve the policy once; the explicit graph is the node-level
-		// torus of the selected partition.
-		_, p, err := resolvePartition(t)
-		if err != nil {
-			return nil, err
-		}
-		tor, err := torus.New(p.NodeShape()...)
-		if err != nil {
-			return nil, err
-		}
-		g, label, part = topo.FromTorus(tor), fmt.Sprintf("partition %s of %s", p, t.Machine), &p
-	} else {
-		var err error
-		g, label, err = buildGraph(t)
-		if err != nil {
-			return nil, err
+	if f := s.Failures; f != nil {
+		net.faultFactor = f.Factor
+		net.faultMidplanes = blockedCells
+		if f.LinkScoped() {
+			if err := net.applyLinkFaults(*f); err != nil {
+				return nil, err
+			}
 		}
 	}
-	gn := newGraphNet(g)
-	return &network{
-		label:     label,
-		vertices:  g.N(),
-		edges:     gn.numEdges,
-		gnet:      gn,
-		partition: part,
-	}, nil
+	return net, nil
+}
+
+// applyLinkFaults resolves a link-scoped failure spec against the
+// backend's link universe and materializes its effect: factor 0
+// removes the affected links from routing; a factor in (0,1) scales
+// their capacity.
+func (n *network) applyLinkFaults(f faults.Spec) error {
+	if n.gnet != nil {
+		affected, err := f.ResolveLinks(faults.Universe{
+			NumVertices: n.gnet.n,
+			EndA:        n.gnet.endA,
+			EndB:        n.gnet.endB,
+		})
+		if err != nil {
+			return err
+		}
+		n.faultLinks = affected
+		n.gnet.applyFaults(affected, f.Factor)
+		return nil
+	}
+
+	u, wireDim := torusUniverse(n.tor)
+	affected, err := f.ResolveLinks(u)
+	if err != nil {
+		return err
+	}
+	n.faultLinks = affected
+	if len(affected) == 0 || f.Factor == 1 {
+		return nil
+	}
+	r := n.router
+	dims := n.tor.Dims()
+	mark := func(l int, apply func(int)) {
+		v, w, d := int(u.EndA[l]), int(u.EndB[l]), wireDim[l]
+		apply(r.LinkID(v, d, route.Plus))
+		if dims[d] == 2 {
+			// Length-2 rings route both directions through Plus links.
+			apply(r.LinkID(w, d, route.Plus))
+		} else {
+			apply(r.LinkID(w, d, route.Minus))
+		}
+	}
+	if f.Factor == 0 {
+		n.dorFailed = make([]bool, r.NumLinks())
+		for _, l := range affected {
+			mark(l, func(id int) { n.dorFailed[id] = true })
+		}
+	} else {
+		n.dorCap = make([]float64, r.NumLinks())
+		for i := range n.dorCap {
+			n.dorCap[i] = 1
+		}
+		for _, l := range affected {
+			mark(l, func(id int) { n.dorCap[id] = f.Factor })
+		}
+	}
+	return nil
+}
+
+// torusUniverse enumerates the undirected edges of a torus as the
+// fault link universe, in deterministic order: vertices ascending,
+// dimensions ascending, one entry per physical wire (for length-2
+// rings only the coordinate-0 endpoint emits the wire). The parallel
+// wireDim slice records each wire's dimension for directed-link
+// translation.
+func torusUniverse(tor *torus.Torus) (faults.Universe, []int) {
+	dims := tor.Dims()
+	n := tor.NumVertices()
+	u := faults.Universe{NumVertices: n}
+	wireDim := make([]int, 0, tor.NumEdges())
+	coord := make(torus.Coord, len(dims))
+	next := make(torus.Coord, len(dims))
+	for v := 0; v < n; v++ {
+		coord = tor.CoordOf(v, coord)
+		for d, a := range dims {
+			if a <= 1 || (a == 2 && coord[d] == 1) {
+				continue
+			}
+			copy(next, coord)
+			next[d] = (coord[d] + 1) % a
+			u.EndA = append(u.EndA, int32(v))
+			u.EndB = append(u.EndB, int32(tor.Index(next)))
+			wireDim = append(wireDim, d)
+		}
+	}
+	return u, wireDim
+}
+
+// countEdges returns the undirected edge count of a normalized
+// topology without building its routing backend (torus family) or by
+// building the cheap explicit graph (graph family). It backs the
+// explicit-link-ID bound check in Normalize.
+func countEdges(t TopologySpec) (int, error) {
+	switch t.Kind {
+	case KindTorus:
+		tor, err := torus.New(mustShape(t.Shape)...)
+		if err != nil {
+			return 0, err
+		}
+		return tor.NumEdges(), nil
+	case KindHypercube:
+		dims := make([]int, t.Dim)
+		for i := range dims {
+			dims[i] = 2
+		}
+		tor, err := torus.New(dims...)
+		if err != nil {
+			return 0, err
+		}
+		return tor.NumEdges(), nil
+	default:
+		g, _, err := buildGraph(t)
+		if err != nil {
+			return 0, err
+		}
+		return g.NumEdges(), nil
+	}
 }

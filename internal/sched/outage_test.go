@@ -1,0 +1,393 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"netpart/internal/bgq"
+	"netpart/internal/torus"
+)
+
+func tinyMachine(t *testing.T) *bgq.Machine {
+	t.Helper()
+	m, err := bgq.NewMachine("tiny", torus.Shape{4, 2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBlockCellsRemovesFromService(t *testing.T) {
+	m := tinyMachine(t)
+	g := NewGrid(m)
+	total := g.FreeMidplanes()
+	if err := g.BlockCells([]int{0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if free := g.FreeMidplanes(); free != total-2 {
+		t.Fatalf("free = %d after blocking 2 of %d", free, total)
+	}
+	for _, pl := range g.Candidates(1) {
+		for _, c := range cellsForTest(m, pl) {
+			if c == 0 || c == 3 {
+				t.Fatalf("candidate %v covers blocked cell %d", pl, c)
+			}
+		}
+	}
+	// Whole-machine placements are gone entirely.
+	if cands := g.Candidates(total); len(cands) != 0 {
+		t.Fatalf("%d whole-machine candidates despite blocked cells", len(cands))
+	}
+
+	if err := g.BlockCells([]int{99}); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	g.occupy(7, torus.Coord{1, 0, 0, 0}, torus.Shape{1, 1, 1, 1})
+	if err := g.BlockCells([]int{2}); err == nil {
+		t.Fatal("blocking an occupied cell accepted")
+	}
+}
+
+// cellsForTest recomputes a placement's row-major cells with the
+// scheduler's stride convention (last dimension fastest).
+func cellsForTest(m *bgq.Machine, pl Placement) []int {
+	dims := m.Grid
+	strides := make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	var cells []int
+	var rec func(dim, base int)
+	rec = func(dim, base int) {
+		if dim == len(dims) {
+			cells = append(cells, base)
+			return
+		}
+		for off := 0; off < pl.Lens[dim]; off++ {
+			c := (pl.Origin[dim] + off) % dims[dim]
+			rec(dim+1, base+c*strides[dim])
+		}
+	}
+	rec(0, 0)
+	return cells
+}
+
+func TestHardOutageKillsAndRequeues(t *testing.T) {
+	m := tinyMachine(t)
+	jobs := []Job{{ID: 0, Midplanes: 8, ArrivalSec: 0, BaseDurationSec: 100}}
+	outages, heals := 0, 0
+	kills := 0
+	res, err := RunWithOptions(m, FirstFit{}, jobs, Options{
+		Outages: []Outage{{StartSec: 50, EndSec: 60, Cells: []int{0}, Factor: 0}},
+		OnOutage: func(_ int, open bool, timeSec float64, free int) {
+			if open {
+				outages++
+				if timeSec != 50 {
+					t.Errorf("outage opened at %v", timeSec)
+				}
+				if free != 7 {
+					t.Errorf("free = %d after hard open (job killed, 1 cell blocked)", free)
+				}
+			} else {
+				heals++
+				if timeSec != 60 {
+					t.Errorf("outage healed at %v", timeSec)
+				}
+			}
+		},
+		OnKill: func(a Allocation, timeSec float64, _ int) {
+			kills++
+			if a.Job.ID != 0 || timeSec != 50 {
+				t.Errorf("killed job %d at %v", a.Job.ID, timeSec)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outages != 1 || heals != 1 || kills != 1 {
+		t.Fatalf("outages=%d heals=%d kills=%d", outages, heals, kills)
+	}
+	if len(res.Kills) != 1 || res.Kills[0].KillSec != 50 || res.Kills[0].StartSec != 0 {
+		t.Fatalf("kills %+v", res.Kills)
+	}
+	if len(res.Allocations) != 1 {
+		t.Fatalf("%d allocations", len(res.Allocations))
+	}
+	a := res.Allocations[0]
+	// Killed at 50, requeued, blocked until 60, rerun 60..160.
+	if a.StartSec != 60 || a.EndSec != 160 {
+		t.Fatalf("rerun [%v, %v], want [60, 160]", a.StartSec, a.EndSec)
+	}
+	if res.MakespanSec != 160 {
+		t.Fatalf("makespan %v", res.MakespanSec)
+	}
+	// The wasted partial run stays in the utilization integral: 50s
+	// before the kill plus the full 100s rerun.
+	if res.TotalRunSec != 150 {
+		t.Fatalf("total run %v, want 150", res.TotalRunSec)
+	}
+	if res.MidplaneSeconds != 8*150 {
+		t.Fatalf("midplane-seconds %v, want %v", res.MidplaneSeconds, 8*150)
+	}
+	// Wait: 0 for the first start, 10 from the requeue (arrival reset
+	// to the kill time).
+	if res.TotalWaitSec != 10 {
+		t.Fatalf("total wait %v, want 10", res.TotalWaitSec)
+	}
+}
+
+func TestCompletionAtOutageOpenIsSpared(t *testing.T) {
+	m := tinyMachine(t)
+	jobs := []Job{{ID: 0, Midplanes: 8, ArrivalSec: 0, BaseDurationSec: 50}}
+	res, err := RunWithOptions(m, FirstFit{}, jobs, Options{
+		Outages: []Outage{{StartSec: 50, EndSec: 60, Cells: []int{0}, Factor: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kills) != 0 {
+		t.Fatalf("job finishing exactly at the window open was killed: %+v", res.Kills)
+	}
+	if res.MakespanSec != 50 {
+		t.Fatalf("makespan %v", res.MakespanSec)
+	}
+}
+
+func TestDegradeOutageRepricesMidRun(t *testing.T) {
+	m := tinyMachine(t)
+	jobs := []Job{{ID: 0, Midplanes: 8, ArrivalSec: 0, BaseDurationSec: 100}}
+	res, err := RunWithOptions(m, FirstFit{}, jobs, Options{
+		Outages: []Outage{{StartSec: 20, EndSec: 40, Cells: []int{0}, Factor: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kills) != 0 {
+		t.Fatalf("degrade window killed: %+v", res.Kills)
+	}
+	a := res.Allocations[0]
+	// 20s at full speed, 20s at half speed (10 units of work), then
+	// the remaining 70 units at full speed: end = 110.
+	if a.EndSec != 110 {
+		t.Fatalf("end %v, want 110 (20 + 20 + 70)", a.EndSec)
+	}
+	if res.TotalRunSec != 110 {
+		t.Fatalf("total run %v", res.TotalRunSec)
+	}
+}
+
+func TestDegradeOutagePricesNewJobs(t *testing.T) {
+	m := tinyMachine(t)
+	jobs := []Job{{ID: 0, Midplanes: 8, ArrivalSec: 0, BaseDurationSec: 100}}
+	res, err := RunWithOptions(m, FirstFit{}, jobs, Options{
+		Outages: []Outage{{StartSec: 0, EndSec: math.Inf(1), Cells: []int{0}, Factor: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := res.Allocations[0]; a.EndSec != 200 {
+		t.Fatalf("end %v, want 200 (whole run at half speed)", a.EndSec)
+	}
+}
+
+func TestPermanentOutageStarves(t *testing.T) {
+	m := tinyMachine(t)
+	cells := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	jobs := []Job{{ID: 0, Midplanes: 1, ArrivalSec: 0, BaseDurationSec: 10}}
+	_, err := RunWithOptions(m, FirstFit{}, jobs, Options{
+		Outages: []Outage{{StartSec: 0, EndSec: math.Inf(1), Cells: cells, Factor: 0}},
+	})
+	var starved *StarvedError
+	if !errors.As(err, &starved) {
+		t.Fatalf("err = %v, want StarvedError", err)
+	}
+	if starved.Job != 0 || starved.Midplanes != 1 {
+		t.Fatalf("starved %+v", starved)
+	}
+}
+
+func TestBackfillSkipsInfiniteShadow(t *testing.T) {
+	m := tinyMachine(t)
+	// The head needs the whole machine, but a permanent outage holds
+	// half of it: its shadow time is infinite. Without the guard the
+	// small job would backfill forever ahead of it.
+	jobs := []Job{
+		{ID: 0, Midplanes: 8, ArrivalSec: 0, BaseDurationSec: 10},
+		{ID: 1, Midplanes: 1, ArrivalSec: 0, BaseDurationSec: 1},
+	}
+	_, err := RunWithOptions(m, FirstFit{}, jobs, Options{
+		Backfill: true,
+		Outages:  []Outage{{StartSec: 0, EndSec: math.Inf(1), Cells: []int{0, 1, 2, 3}, Factor: 0}},
+	})
+	var starved *StarvedError
+	if !errors.As(err, &starved) {
+		t.Fatalf("err = %v, want StarvedError (head can never start)", err)
+	}
+}
+
+func TestOutageValidation(t *testing.T) {
+	m := tinyMachine(t)
+	jobs := []Job{{ID: 0, Midplanes: 1, ArrivalSec: 0, BaseDurationSec: 1}}
+	bad := []Outage{
+		{StartSec: 0, EndSec: 10, Cells: []int{0}, Factor: 1.5},
+		{StartSec: 0, EndSec: 10, Cells: []int{0}, Factor: math.NaN()},
+		{StartSec: 10, EndSec: 10, Cells: []int{0}, Factor: 0},
+		{StartSec: -1, EndSec: 10, Cells: []int{0}, Factor: 0},
+		{StartSec: math.Inf(1), EndSec: math.Inf(1), Cells: []int{0}, Factor: 0},
+		{StartSec: 0, EndSec: 10, Cells: []int{8}, Factor: 0},
+		{StartSec: 0, EndSec: 10, Cells: []int{-1}, Factor: 0},
+	}
+	for i, o := range bad {
+		if _, err := RunWithOptions(m, FirstFit{}, jobs, Options{Outages: []Outage{o}}); err == nil {
+			t.Errorf("outage %d (%+v) accepted", i, o)
+		}
+	}
+}
+
+// TestNoJobOnFailedMidplaneInvariant runs randomized traces against
+// randomized hard outage windows, across all three placement policies
+// with backfill on and off, and asserts the core safety properties:
+// no job is ever started on a cell inside an open hard window, every
+// job killed by a window overlapped it, no cell is double-occupied,
+// and every occupied cell is released (finish or kill) by the end.
+func TestNoJobOnFailedMidplaneInvariant(t *testing.T) {
+	m := bgq.Juqueen()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		var jobs []Job
+		arr := 0.0
+		for i := 0; i < 12; i++ {
+			arr += rng.Float64() * 40
+			jobs = append(jobs, Job{
+				ID:              i,
+				Midplanes:       1 << rng.Intn(4),
+				ArrivalSec:      arr,
+				BaseDurationSec: 10 + rng.Float64()*90,
+				ContentionBound: rng.Intn(2) == 0,
+			})
+		}
+		var outages []Outage
+		for i := 0; i < 3; i++ {
+			start := rng.Float64() * 300
+			cells := rng.Perm(m.Midplanes())[:1+rng.Intn(8)]
+			outages = append(outages, Outage{
+				StartSec: start,
+				EndSec:   start + 20 + rng.Float64()*100,
+				Cells:    cells,
+				Factor:   0,
+			})
+		}
+		// A cell is failed at time ts iff some hard window contains ts.
+		// Windows are half-open [start, end): a job may start on a cell
+		// the instant its window closes, never the instant one opens.
+		failedAt := func(c int, ts float64) bool {
+			for _, o := range outages {
+				if ts < o.StartSec || ts >= o.EndSec {
+					continue
+				}
+				for _, oc := range o.Cells {
+					if oc == c {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		for _, pl := range []PlacementPolicy{FirstFit{}, BestBisection{}, ContentionAware{}} {
+			for _, backfill := range []bool{false, true} {
+				// Occupy/release inversion: each cell a start claims must
+				// be free, and each finish/kill must return exactly the
+				// cells its start claimed.
+				occupied := make(map[int]int) // cell -> job ID holding it
+				release := func(a Allocation, what string) {
+					for _, c := range cellsForTest(m, a.Placement) {
+						holder, ok := occupied[c]
+						if !ok || holder != a.Job.ID {
+							t.Fatalf("trial %d: %s of job %d released cell %d it did not hold (holder %d, held %v)", trial, what, a.Job.ID, c, holder, ok)
+						}
+						delete(occupied, c)
+					}
+				}
+				_, err := RunWithOptions(m, pl, jobs, Options{
+					Backfill: backfill,
+					Outages:  outages,
+					OnStart: func(a Allocation) {
+						for _, c := range cellsForTest(m, a.Placement) {
+							if failedAt(c, a.StartSec) {
+								t.Fatalf("trial %d: job %d started on failed cell %d at %v", trial, a.Job.ID, c, a.StartSec)
+							}
+							if holder, ok := occupied[c]; ok {
+								t.Fatalf("trial %d: job %d started on cell %d already held by job %d", trial, a.Job.ID, c, holder)
+							}
+							occupied[c] = a.Job.ID
+						}
+					},
+					OnFinish: func(a Allocation) { release(a, "finish") },
+					OnKill: func(a Allocation, ts float64, _ int) {
+						hit := false
+						for _, c := range cellsForTest(m, a.Placement) {
+							if failedAt(c, ts) {
+								hit = true
+							}
+						}
+						if !hit {
+							t.Fatalf("trial %d: job %d killed at %v without overlapping an open window", trial, a.Job.ID, ts)
+						}
+						release(a, "kill")
+					},
+				})
+				if err != nil {
+					var starved *StarvedError
+					if errors.As(err, &starved) {
+						continue // permanent starvation is legal under random windows
+					}
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if len(occupied) != 0 {
+					t.Fatalf("trial %d: %d cells still occupied after the schedule drained: %v", trial, len(occupied), occupied)
+				}
+			}
+		}
+	}
+}
+
+// TestOutageDeterminism replays the same failure-laden schedule twice
+// and asserts identical results.
+func TestOutageDeterminism(t *testing.T) {
+	m := bgq.Juqueen()
+	var jobs []Job
+	rng := rand.New(rand.NewSource(7))
+	arr := 0.0
+	for i := 0; i < 15; i++ {
+		arr += rng.Float64() * 30
+		jobs = append(jobs, Job{ID: i, Midplanes: 1 << rng.Intn(4), ArrivalSec: arr, BaseDurationSec: 20 + rng.Float64()*80})
+	}
+	opts := Options{
+		Backfill: true,
+		Outages: []Outage{
+			{StartSec: 40, EndSec: 120, Cells: []int{0, 1, 2, 3}, Factor: 0},
+			{StartSec: 80, EndSec: 200, Cells: []int{10, 11}, Factor: 0.25},
+		},
+	}
+	a, err := RunWithOptions(m, BestBisection{}, jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithOptions(m, BestBisection{}, jobs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanSec != b.MakespanSec || a.TotalRunSec != b.TotalRunSec || len(a.Kills) != len(b.Kills) {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Allocations {
+		if a.Allocations[i] .StartSec != b.Allocations[i].StartSec || a.Allocations[i].EndSec != b.Allocations[i].EndSec {
+			t.Fatalf("allocation %d diverged", i)
+		}
+	}
+}

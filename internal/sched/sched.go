@@ -29,6 +29,11 @@ type Grid struct {
 	dims    torus.Shape
 	strides []int
 	used    []int // job ID + 1, or 0 when free
+	// blocked counts how many failure sources currently remove each
+	// cell from service (static failures plus open outage windows may
+	// overlap, so this is a refcount, not a flag). A blocked cell is
+	// never free and never placeable.
+	blocked []int
 }
 
 // NewGrid creates an empty occupancy grid for a machine.
@@ -40,21 +45,59 @@ func NewGrid(m *bgq.Machine) *Grid {
 		strides[i] = s
 		s *= dims[i]
 	}
-	return &Grid{machine: m, dims: dims, strides: strides, used: make([]int, s)}
+	return &Grid{machine: m, dims: dims, strides: strides, used: make([]int, s), blocked: make([]int, s)}
 }
 
 // Machine returns the underlying machine.
 func (g *Grid) Machine() *bgq.Machine { return g.machine }
 
-// FreeMidplanes returns the number of unoccupied midplanes.
+// FreeMidplanes returns the number of midplanes that are neither
+// occupied nor blocked by a failure.
 func (g *Grid) FreeMidplanes() int {
 	n := 0
-	for _, u := range g.used {
-		if u == 0 {
+	for c, u := range g.used {
+		if u == 0 && g.blocked[c] == 0 {
 			n++
 		}
 	}
 	return n
+}
+
+// BlockCells removes midplanes from service before any job is placed:
+// the cells disappear from candidate enumeration exactly as if they
+// were occupied. It is the seam the scenario layer uses to model
+// statically failed midplanes. Cells must be in range and unoccupied.
+func (g *Grid) BlockCells(cells []int) error {
+	for _, c := range cells {
+		if c < 0 || c >= len(g.used) {
+			return fmt.Errorf("sched: blocked midplane %d out of range [0, %d)", c, len(g.used))
+		}
+		if g.used[c] != 0 {
+			return fmt.Errorf("sched: blocked midplane %d is occupied", c)
+		}
+	}
+	g.block(cells)
+	return nil
+}
+
+// block and unblock adjust the failure refcount of cells (outage
+// windows opening and healing). Unlike BlockCells, block tolerates
+// occupied cells: a hard outage kills the overlapping jobs first, and
+// a finishing job may still hold a cell at the instant its window
+// opens.
+func (g *Grid) block(cells []int) {
+	for _, c := range cells {
+		g.blocked[c]++
+	}
+}
+
+func (g *Grid) unblock(cells []int) {
+	for _, c := range cells {
+		if g.blocked[c] == 0 {
+			panic(fmt.Sprintf("sched: unblocking midplane %d that is not blocked", c))
+		}
+		g.blocked[c]--
+	}
 }
 
 // cellsOf enumerates the linear cell indices of a cuboid placement.
@@ -83,7 +126,7 @@ func (g *Grid) fits(origin torus.Coord, lens torus.Shape) bool {
 	var rec func(dim, base int) bool
 	rec = func(dim, base int) bool {
 		if dim == len(g.dims) {
-			return g.used[base] == 0
+			return g.used[base] == 0 && g.blocked[base] == 0
 		}
 		for off := 0; off < lens[dim]; off++ {
 			c := (origin[dim] + off) % g.dims[dim]
@@ -101,6 +144,9 @@ func (g *Grid) occupy(jobID int, origin torus.Coord, lens torus.Shape) {
 	for _, c := range g.cellsOf(origin, lens) {
 		if g.used[c] != 0 {
 			panic(fmt.Sprintf("sched: double allocation of midplane %d", c))
+		}
+		if g.blocked[c] != 0 {
+			panic(fmt.Sprintf("sched: allocating failed midplane %d", c))
 		}
 		g.used[c] = jobID + 1
 	}
@@ -274,6 +320,49 @@ func (e *NeverFitsError) Error() string {
 	return fmt.Sprintf("sched: job %d requests %d midplanes, which can never be placed on %s", e.Job, e.Midplanes, e.Machine)
 }
 
+// StarvedError reports a schedule that cannot make progress under
+// failures: the queue head cannot be placed and no completion, arrival
+// or outage boundary remains to change the occupancy — typically a
+// permanent outage that leaves no cuboid of the requested size.
+type StarvedError struct {
+	Job       int
+	Midplanes int
+	Machine   string
+}
+
+func (e *StarvedError) Error() string {
+	return fmt.Sprintf("sched: job %d (%d midplanes) cannot be placed on %s and no completion, arrival or outage boundary remains", e.Job, e.Midplanes, e.Machine)
+}
+
+// Outage is a time-varying failure window over a set of midplane
+// cells. Factor 0 is a hard outage: when the window opens, running
+// jobs overlapping the cells are killed (and requeued at the kill
+// time), and the cells are blocked until the window closes. A factor
+// in (0, 1) is degradation: the cells stay in service but jobs
+// overlapping them run dilated by 1/Factor while the window is open —
+// mid-run, their remaining work is repriced when the window opens or
+// closes. Factor 1 is an explicit no-op window.
+type Outage struct {
+	// StartSec and EndSec bound the window; EndSec may be +Inf for a
+	// failure that never heals.
+	StartSec float64
+	EndSec   float64
+	// Cells are the affected midplane cell indices.
+	Cells []int
+	// Factor is the capacity multiplier: 0 removes, (0,1) degrades.
+	Factor float64
+}
+
+// Kill records a job evicted mid-run by a hard outage. The job is
+// requeued with its arrival reset to the kill time; its eventual
+// successful run appears in Allocations as usual.
+type Kill struct {
+	Job       Job
+	Placement Placement
+	StartSec  float64
+	KillSec   float64
+}
+
 // Allocation records a placed job.
 type Allocation struct {
 	Job       Job
@@ -289,6 +378,10 @@ type Allocation struct {
 type Result struct {
 	Policy      string
 	Allocations []Allocation
+	// Kills records jobs evicted by hard outages (each killed run's
+	// partial work counts toward nothing; the job's final successful
+	// run is in Allocations).
+	Kills []Kill
 	// MakespanSec is the completion time of the last job.
 	MakespanSec float64
 	// TotalWaitSec sums queue waits.
@@ -335,6 +428,39 @@ type Options struct {
 	// it completes and its midplanes are released.
 	OnStart  func(Allocation)
 	OnFinish func(Allocation)
+
+	// Outages are time-varying failure windows applied during the run.
+	Outages []Outage
+
+	// OnOutage observes outage boundaries: index into Outages, whether
+	// the window opened (true) or healed (false), the simulation time,
+	// and the free-midplane count after the boundary took effect.
+	OnOutage func(outage int, open bool, timeSec float64, free int)
+
+	// OnKill observes hard-outage evictions, after the job's cells are
+	// released (and before they are blocked).
+	OnKill func(a Allocation, timeSec float64, free int)
+}
+
+// validateOutage rejects windows the event loop cannot order: factors
+// outside [0, 1], non-finite or inverted bounds (EndSec may be +Inf),
+// cells outside the machine.
+func validateOutage(i int, o Outage, cells int) error {
+	if math.IsNaN(o.Factor) || o.Factor < 0 || o.Factor > 1 {
+		return fmt.Errorf("sched: outage %d factor %v out of range [0, 1]", i, o.Factor)
+	}
+	if o.StartSec < 0 || math.IsInf(o.StartSec, 0) || math.IsNaN(o.StartSec) {
+		return fmt.Errorf("sched: outage %d start %v is not non-negative and finite", i, o.StartSec)
+	}
+	if math.IsNaN(o.EndSec) || o.EndSec <= o.StartSec {
+		return fmt.Errorf("sched: outage %d window [%v, %v) is empty or inverted", i, o.StartSec, o.EndSec)
+	}
+	for _, c := range o.Cells {
+		if c < 0 || c >= cells {
+			return fmt.Errorf("sched: outage %d midplane %d out of range [0, %d)", i, c, cells)
+		}
+	}
+	return nil
 }
 
 // Run schedules the jobs FCFS under the policy and returns the
@@ -395,12 +521,21 @@ func RunContext(ctx context.Context, m *bgq.Machine, policy PlacementPolicy, job
 		}
 	}
 	grid := NewGrid(m)
+	for i, o := range opts.Outages {
+		if err := validateOutage(i, o, len(grid.used)); err != nil {
+			return Result{}, err
+		}
+	}
 	queue := append([]Job(nil), jobs...)
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].ArrivalSec < queue[j].ArrivalSec })
 
 	res := Result{Policy: policy.Name()}
 	type running struct {
 		alloc Allocation
+		// price is the dilation the job was priced at (the product of
+		// 1/factor over open degrade windows overlapping its placement
+		// at the last (re)pricing).
+		price float64
 	}
 	var active []running
 	now := 0.0
@@ -413,6 +548,64 @@ func RunContext(ctx context.Context, m *bgq.Machine, policy PlacementPolicy, job
 			}
 		}
 		return best
+	}
+
+	// Outage machinery: per-outage cell masks for overlap tests, a
+	// time-sorted boundary list (heals before failures at ties, so a
+	// cell leaving one window can immediately enter another), and the
+	// open set for pricing.
+	type boundary struct {
+		timeSec float64
+		outage  int
+		open    bool
+	}
+	var boundaries []boundary
+	masks := make([][]bool, len(opts.Outages))
+	outageOpen := make([]bool, len(opts.Outages))
+	for i, o := range opts.Outages {
+		if o.Factor == 1 || len(o.Cells) == 0 {
+			continue // explicit no-op window
+		}
+		masks[i] = make([]bool, len(grid.used))
+		for _, c := range o.Cells {
+			masks[i][c] = true
+		}
+		boundaries = append(boundaries, boundary{o.StartSec, i, true})
+		if !math.IsInf(o.EndSec, 1) {
+			boundaries = append(boundaries, boundary{o.EndSec, i, false})
+		}
+	}
+	sort.Slice(boundaries, func(i, j int) bool {
+		a, b := boundaries[i], boundaries[j]
+		if a.timeSec != b.timeSec {
+			return a.timeSec < b.timeSec
+		}
+		if a.open != b.open {
+			return !a.open
+		}
+		return a.outage < b.outage
+	})
+	nextB := 0
+
+	overlaps := func(mask []bool, pl Placement) bool {
+		for _, c := range grid.cellsOf(pl.Origin, pl.Lens) {
+			if mask[c] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// price returns the runtime dilation a placement suffers from the
+	// currently open degrade windows (1 when healthy).
+	price := func(pl Placement) float64 {
+		p := 1.0
+		for i, o := range opts.Outages {
+			if outageOpen[i] && o.Factor > 0 && o.Factor < 1 && overlaps(masks[i], pl) {
+				p /= o.Factor
+			}
+		}
+		return p
 	}
 
 	// jobDuration applies the configured runtime model (default: the
@@ -430,15 +623,80 @@ func RunContext(ctx context.Context, m *bgq.Machine, policy PlacementPolicy, job
 	}
 
 	startJob := func(job Job, pl Placement, backfilled bool) {
-		duration := jobDuration(job, pl)
+		p := price(pl)
+		duration := jobDuration(job, pl) * p
 		alloc := Allocation{Job: job, Placement: pl, StartSec: now, EndSec: now + duration, Backfilled: backfilled}
 		grid.occupy(job.ID, pl.Origin, pl.Lens)
-		active = append(active, running{alloc})
+		active = append(active, running{alloc, p})
 		res.TotalWaitSec += now - job.ArrivalSec
 		res.TotalRunSec += duration
 		res.MidplaneSeconds += float64(job.Midplanes) * duration
 		if opts.OnStart != nil {
 			opts.OnStart(alloc)
+		}
+	}
+
+	// applyBoundary opens or heals one outage window at time `now`:
+	// hard windows kill overlapping jobs (requeued at the kill time)
+	// and block/unblock their cells; degrade windows reprice the
+	// remaining work of every running job whose dilation changed.
+	applyBoundary := func(b boundary) {
+		o := opts.Outages[b.outage]
+		if b.open && o.Factor == 0 {
+			// Kill overlapping running jobs in deterministic (start
+			// order) sequence. A job finishing exactly now is spared —
+			// its completion event is already due at this timestamp.
+			for i := 0; i < len(active); {
+				a := active[i].alloc
+				if a.EndSec > now && overlaps(masks[b.outage], a.Placement) {
+					remaining := a.EndSec - now
+					grid.release(a.Job.ID, a.Placement.Origin, a.Placement.Lens)
+					res.TotalRunSec -= remaining
+					res.MidplaneSeconds -= float64(a.Job.Midplanes) * remaining
+					res.Kills = append(res.Kills, Kill{Job: a.Job, Placement: a.Placement, StartSec: a.StartSec, KillSec: now})
+					active = append(active[:i], active[i+1:]...)
+					requeued := a.Job
+					requeued.ArrivalSec = now
+					pos := sort.Search(len(queue), func(k int) bool { return queue[k].ArrivalSec > now })
+					queue = append(queue, Job{})
+					copy(queue[pos+1:], queue[pos:])
+					queue[pos] = requeued
+					if opts.OnKill != nil {
+						opts.OnKill(a, now, grid.FreeMidplanes())
+					}
+				} else {
+					i++
+				}
+			}
+		}
+		outageOpen[b.outage] = b.open
+		if o.Factor == 0 {
+			if b.open {
+				grid.block(o.Cells)
+			} else {
+				grid.unblock(o.Cells)
+			}
+		} else {
+			// Degrade boundary: reprice every running job whose open
+			// window set changed. Remaining work scales by the price
+			// ratio; elapsed work stays paid.
+			for i := range active {
+				a := &active[i].alloc
+				newP := price(a.Placement)
+				oldP := active[i].price
+				if newP == oldP || a.EndSec <= now {
+					continue
+				}
+				remaining := a.EndSec - now
+				adjusted := remaining * newP / oldP
+				a.EndSec = now + adjusted
+				res.TotalRunSec += adjusted - remaining
+				res.MidplaneSeconds += float64(a.Job.Midplanes) * (adjusted - remaining)
+				active[i].price = newP
+			}
+		}
+		if opts.OnOutage != nil {
+			opts.OnOutage(b.outage, b.open, now, grid.FreeMidplanes())
 		}
 	}
 
@@ -465,7 +723,17 @@ func RunContext(ctx context.Context, m *bgq.Machine, policy PlacementPolicy, job
 		return math.Inf(1)
 	}
 
-	for len(queue) > 0 || len(active) > 0 {
+	for {
+		// Apply every outage boundary that is due. This runs before
+		// placement so a window opening at the current instant affects
+		// the occupancy the queue head sees (including windows at t=0).
+		for nextB < len(boundaries) && boundaries[nextB].timeSec <= now {
+			applyBoundary(boundaries[nextB])
+			nextB++
+		}
+		if len(queue) == 0 && len(active) == 0 {
+			break
+		}
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
@@ -479,9 +747,12 @@ func RunContext(ctx context.Context, m *bgq.Machine, policy PlacementPolicy, job
 				started = true
 			} else if opts.Backfill {
 				// The head waits: admit later arrived jobs that finish
-				// by the head's shadow time.
+				// by the head's shadow time. An infinite shadow (a
+				// permanent outage holds the cells the head needs) would
+				// admit everything and starve the head, so backfill is
+				// skipped entirely.
 				shadow := shadowTime(job.Midplanes)
-				for i := 1; i < len(queue); i++ {
+				for i := 1; !math.IsInf(shadow, 1) && i < len(queue); i++ {
 					cand := queue[i]
 					if cand.ArrivalSec > now {
 						continue
@@ -491,7 +762,7 @@ func RunContext(ctx context.Context, m *bgq.Machine, policy PlacementPolicy, job
 						continue
 					}
 					pl := policy.Choose(cand, cs)
-					if now+jobDuration(cand, pl) <= shadow {
+					if now+jobDuration(cand, pl)*price(pl) <= shadow {
 						startJob(cand, pl, true)
 						queue = append(queue[:i], queue[i+1:]...)
 						started = true
@@ -503,16 +774,24 @@ func RunContext(ctx context.Context, m *bgq.Machine, policy PlacementPolicy, job
 		if started {
 			continue
 		}
-		// Advance time to the next event: an arrival or a completion.
+		// Advance time to the next event: a completion, an outage
+		// boundary or an arrival — in that order at ties, so jobs
+		// finishing exactly when a window opens complete instead of
+		// being killed, and healed cells are visible to an arrival at
+		// the same instant.
 		nextArrival := -1.0
 		for _, j := range queue {
 			if j.ArrivalSec > now && (nextArrival < 0 || j.ArrivalSec < nextArrival) {
 				nextArrival = j.ArrivalSec
 			}
 		}
+		nextBoundary := math.Inf(1)
+		if nextB < len(boundaries) {
+			nextBoundary = boundaries[nextB].timeSec
+		}
 		fi := finishEarliest()
 		switch {
-		case fi >= 0 && (nextArrival < 0 || active[fi].alloc.EndSec <= nextArrival):
+		case fi >= 0 && active[fi].alloc.EndSec <= nextBoundary && (nextArrival < 0 || active[fi].alloc.EndSec <= nextArrival):
 			a := active[fi].alloc
 			now = a.EndSec
 			grid.release(a.Job.ID, a.Placement.Origin, a.Placement.Lens)
@@ -524,9 +803,16 @@ func RunContext(ctx context.Context, m *bgq.Machine, policy PlacementPolicy, job
 			if opts.OnFinish != nil {
 				opts.OnFinish(a)
 			}
+		case !math.IsInf(nextBoundary, 1) && (nextArrival < 0 || nextBoundary <= nextArrival):
+			now = nextBoundary // the top-of-loop drain applies it
 		case nextArrival >= 0:
 			now = nextArrival
 		default:
+			if len(boundaries) > 0 {
+				// The head cannot be placed and nothing will ever free
+				// or heal a midplane: a permanent outage starved it.
+				return Result{}, &StarvedError{Job: queue[0].ID, Midplanes: queue[0].Midplanes, Machine: m.Name}
+			}
 			// Unreachable after the up-front feasibility pass: the head
 			// could be placed on an empty machine, and with nothing
 			// running and no future arrival the machine is empty.

@@ -241,7 +241,7 @@ func (r *GridResult) Table(title string) tabulate.Table {
 	headers := []string{"#"}
 	headers = append(headers, r.AxisPaths...)
 	headers = append(headers, "jobs", "makespan (s)", "avg wait (s)", "avg stretch",
-		"contention", "utilization", "fragmentation", "backfilled", "error")
+		"contention", "utilization", "fragmentation", "backfilled", "Δmakespan", "error")
 	t := tabulate.Table{Title: title, Headers: headers}
 	for _, p := range r.Points {
 		row := make([]any, 0, len(headers))
@@ -255,10 +255,14 @@ func (r *GridResult) Table(title string) tabulate.Table {
 		}
 		if res := p.Result; res != nil {
 			m := res.Metrics
+			dm := any("-")
+			if m.MakespanDeltaX != 0 {
+				dm = m.MakespanDeltaX
+			}
 			row = append(row, m.Jobs, m.MakespanSec, m.AvgWaitSec, m.AvgStretch,
-				m.ContentionX, m.Utilization, m.Fragmentation, m.Backfilled, "")
+				m.ContentionX, m.Utilization, m.Fragmentation, m.Backfilled, dm, "")
 		} else {
-			row = append(row, "-", "-", "-", "-", "-", "-", "-", "-", p.Err)
+			row = append(row, "-", "-", "-", "-", "-", "-", "-", "-", "-", p.Err)
 		}
 		t.AddRow(row...)
 	}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
 	"netpart/internal/bgq"
+	"netpart/internal/faults"
 	"netpart/internal/model"
 	"netpart/internal/netsim"
 	"netpart/internal/route"
@@ -21,16 +23,20 @@ import (
 // Event is one simulator occurrence, emitted in simulation-time order
 // (the event loop is sequential, so callbacks are serialized).
 type Event struct {
-	// Kind is "start" or "finish".
+	// Kind is "start", "finish", "kill" (a hard outage evicted the
+	// job mid-run; it requeues), "outage" (a failure window opened) or
+	// "heal" (it closed). Outage and heal events carry Job -1 and the
+	// affected cell count in Midplanes.
 	Kind    string  `json:"kind"`
 	TimeSec float64 `json:"time_sec"`
 	Job     int     `json:"job"`
 
 	Midplanes int    `json:"midplanes"`
-	Geometry  string `json:"geometry"`
+	Geometry  string `json:"geometry,omitempty"`
 	// Dilation is the job's runtime stretch from its placed geometry.
-	Dilation float64 `json:"dilation"`
-	// FreeMidplanes is the machine's free count after the event.
+	Dilation float64 `json:"dilation,omitempty"`
+	// FreeMidplanes is the machine's free count after the event
+	// (midplanes inside an open hard-outage window are not free).
 	FreeMidplanes int  `json:"free_midplanes"`
 	Backfilled    bool `json:"backfilled,omitempty"`
 }
@@ -67,6 +73,9 @@ type JobOutcome struct {
 	BisectionBW int     `json:"bisection_bw"`
 	Pattern     string  `json:"pattern,omitempty"`
 	Backfilled  bool    `json:"backfilled,omitempty"`
+	// Restarts counts hard-outage evictions the job survived before
+	// its recorded (successful) run.
+	Restarts int `json:"restarts,omitempty"`
 }
 
 // Metrics are the trace's headline numbers.
@@ -93,6 +102,22 @@ type Metrics struct {
 	Fragmentation float64 `json:"fragmentation"`
 	// MidplaneSeconds is the utilization integral.
 	MidplaneSeconds float64 `json:"midplane_seconds"`
+
+	// Failure metrics (Spec.Failures; all zero on a healthy machine).
+	// FailedMidplanes and DegradedMidplanes count the affected cells;
+	// Kills the hard-outage evictions. The Healthy* fields are the
+	// baseline run of the same spec with failures stripped, and the
+	// Delta ratios failed/healthy — the robustness cost of the failure
+	// under this policy.
+	FailedMidplanes    int     `json:"failed_midplanes,omitempty"`
+	DegradedMidplanes  int     `json:"degraded_midplanes,omitempty"`
+	Kills              int     `json:"kills,omitempty"`
+	HealthyMakespanSec float64 `json:"healthy_makespan_sec,omitempty"`
+	HealthyAvgStretch  float64 `json:"healthy_avg_stretch,omitempty"`
+	HealthyContentionX float64 `json:"healthy_contention_x,omitempty"`
+	MakespanDeltaX     float64 `json:"makespan_delta_x,omitempty"`
+	StretchDeltaX      float64 `json:"stretch_delta_x,omitempty"`
+	ContentionDeltaX   float64 `json:"contention_delta_x,omitempty"`
 }
 
 // Result is a completed trace simulation: the normalized spec, the
@@ -263,6 +288,26 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	total := m.Midplanes()
 	free := total
 	done := 0
+	restarts := make([]int, n)
+
+	// Failure model: resolve the affected cells once, then one sched
+	// outage per window (no windows: the failure holds for the whole
+	// run).
+	var outages []sched.Outage
+	var failCells []int
+	if f := norm.Failures; f != nil {
+		failCells, err = f.ResolveMidplanes(m.Grid)
+		if err != nil {
+			return nil, err
+		}
+		windows := f.Windows
+		if len(windows) == 0 {
+			windows = []faults.Window{{StartSec: 0, EndSec: math.Inf(1)}}
+		}
+		for _, w := range windows {
+			outages = append(outages, sched.Outage{StartSec: w.StartSec, EndSec: w.EndSec, Cells: failCells, Factor: f.Factor})
+		}
+	}
 	// dilations records the scored dilation per job. The Duration hook
 	// may run several times for one job (backfill admission probes),
 	// but its final call for a job is always for the placement actually
@@ -306,6 +351,32 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 				opts.OnProgress(done, n)
 			}
 		},
+		Outages: outages,
+		OnOutage: func(_ int, open bool, timeSec float64, gridFree int) {
+			free = gridFree // resync: blocking/healing changes free capacity
+			if opts.OnEvent != nil {
+				kind := "outage"
+				if !open {
+					kind = "heal"
+				}
+				opts.OnEvent(Event{
+					Kind: kind, TimeSec: timeSec, Job: -1,
+					Midplanes: len(failCells), FreeMidplanes: free,
+				})
+			}
+		},
+		OnKill: func(a sched.Allocation, timeSec float64, gridFree int) {
+			free = gridFree
+			restarts[a.Job.ID]++
+			if opts.OnEvent != nil {
+				opts.OnEvent(Event{
+					Kind: "kill", TimeSec: timeSec, Job: a.Job.ID,
+					Midplanes: a.Job.Midplanes, Geometry: a.Placement.Lens.String(),
+					Dilation:      dilations[a.Job.ID],
+					FreeMidplanes: free, Backfilled: a.Backfilled,
+				})
+			}
+		},
 	}
 	policy, ok := sched.PolicyByName(norm.Policy)
 	if !ok {
@@ -329,20 +400,25 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	for _, a := range sres.Allocations {
 		js := trace[a.Job.ID]
 		run := a.EndSec - a.StartSec
+		// Killed jobs are requeued with their arrival reset to the
+		// kill time; the outcome reports against the original trace
+		// arrival, so wait and stretch include the evicted partial run.
+		arrival := js.ArrivalSec
 		out := JobOutcome{
 			ID:         a.Job.ID,
 			Midplanes:  a.Job.Midplanes,
-			ArrivalSec: a.Job.ArrivalSec,
+			ArrivalSec: arrival,
 			StartSec:   a.StartSec,
 			EndSec:     a.EndSec,
-			WaitSec:    a.StartSec - a.Job.ArrivalSec,
+			WaitSec:    a.StartSec - arrival,
 			RuntimeSec: run,
 			BaseSec:    a.Job.BaseDurationSec,
 			Dilation:   dilations[a.Job.ID],
-			Stretch:    (a.StartSec - a.Job.ArrivalSec + run) / a.Job.BaseDurationSec,
+			Stretch:    (a.EndSec - arrival) / a.Job.BaseDurationSec,
 			Geometry:   a.Placement.Lens.String(),
 			Pattern:    js.Pattern,
 			Backfilled: a.Backfilled,
+			Restarts:   restarts[a.Job.ID],
 		}
 		out.BisectionBW = a.Placement.Partition().BisectionBW()
 		res.Jobs = append(res.Jobs, out)
@@ -353,7 +429,55 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 			res.Metrics.Patterned++
 		}
 	}
+	if f := norm.Failures; f != nil {
+		met := &res.Metrics
+		met.Kills = len(sres.Kills)
+		if f.Factor == 0 {
+			met.FailedMidplanes = len(failCells)
+		} else if f.Factor < 1 {
+			met.DegradedMidplanes = len(failCells)
+		}
+		hm, err := healthyMetrics(ctx, norm)
+		if err != nil {
+			return nil, fmt.Errorf("tracesim: healthy baseline: %w", err)
+		}
+		met.HealthyMakespanSec = hm.MakespanSec
+		met.HealthyAvgStretch = hm.AvgStretch
+		met.HealthyContentionX = hm.ContentionX
+		if hm.MakespanSec > 0 {
+			met.MakespanDeltaX = met.MakespanSec / hm.MakespanSec
+		}
+		if hm.AvgStretch > 0 {
+			met.StretchDeltaX = met.AvgStretch / hm.AvgStretch
+		}
+		if hm.ContentionX > 0 {
+			met.ContentionDeltaX = met.ContentionX / hm.ContentionX
+		}
+	}
 	return res, nil
+}
+
+// healthyMemo caches the healthy-baseline metrics by the healthy
+// spec's Key. Sweeping a failure axis re-runs the same healthy twin
+// for every point, so one process-wide cache (the patternSecMemo
+// precedent) pays for the baseline once per distinct spec.
+var healthyMemo sync.Map
+
+// healthyMetrics runs the failure-stripped twin of a normalized spec
+// and returns its metrics (memoized process-wide).
+func healthyMetrics(ctx context.Context, norm Spec) (Metrics, error) {
+	healthy := norm
+	healthy.Failures = nil
+	key := healthy.Key()
+	if v, ok := healthyMemo.Load(key); ok {
+		return v.(Metrics), nil
+	}
+	hres, err := Run(ctx, healthy, Options{})
+	if err != nil {
+		return Metrics{}, err
+	}
+	healthyMemo.Store(key, hres.Metrics)
+	return hres.Metrics, nil
 }
 
 // reduce computes the headline metrics from the per-job outcomes.
@@ -462,5 +586,19 @@ func (r *Result) Table() tabulate.Table {
 	t.AddRow("utilization", m.Utilization)
 	t.AddRow("fragmentation", m.Fragmentation)
 	t.AddRow("midplane-seconds", m.MidplaneSeconds)
+	if f := r.Spec.Failures; f != nil {
+		t.AddRow("failure model", f.Model)
+		t.AddRow("capacity factor", f.Factor)
+		if m.FailedMidplanes > 0 {
+			t.AddRow("failed midplanes", m.FailedMidplanes)
+		}
+		if m.DegradedMidplanes > 0 {
+			t.AddRow("degraded midplanes", m.DegradedMidplanes)
+		}
+		t.AddRow("kills", m.Kills)
+		t.AddRow("healthy makespan (s)", m.HealthyMakespanSec)
+		t.AddRow("makespan delta (x)", m.MakespanDeltaX)
+		t.AddRow("stretch delta (x)", m.StretchDeltaX)
+	}
 	return t
 }

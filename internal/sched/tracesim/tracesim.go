@@ -35,6 +35,7 @@ import (
 	"math"
 	"strings"
 
+	"netpart/internal/faults"
 	"netpart/internal/scenario"
 	"netpart/internal/sched"
 )
@@ -162,6 +163,14 @@ type Spec struct {
 	Jobs []JobSpec `json:"jobs,omitempty"`
 	// Synthetic generates the trace (exclusive with Jobs).
 	Synthetic *Synthetic `json:"synthetic,omitempty"`
+	// Failures is the optional midplane failure model. Its windows
+	// open and heal during the simulation: factor-0 windows kill and
+	// requeue overlapping jobs and block their midplanes, fractional
+	// factors dilate overlapping jobs' runtimes by 1/factor. No
+	// windows means the failure holds for the whole run. nil is a
+	// healthy machine; a failed run's metrics carry the healthy
+	// baseline of the same spec and the deltas against it.
+	Failures *faults.Spec `json:"failures,omitempty"`
 }
 
 // knownPolicy defers to the scheduler's own name mapping, so a policy
@@ -353,6 +362,30 @@ func (s Spec) Normalize() (Spec, error) {
 	default:
 		return Spec{}, fmt.Errorf("tracesim: trace has no jobs (want an inline job list or a synthetic generator)")
 	}
+	if s.Failures != nil {
+		f, err := s.Failures.Normalize()
+		if err != nil {
+			return Spec{}, err
+		}
+		// Traces model failures at midplane granularity; the
+		// correlated region grows in midplane space here (a rack-level
+		// outage), unlike in scenarios where it grows over links.
+		if !f.MidplaneScoped() && f.Model != faults.ModelCorrelatedRegion {
+			return Spec{}, fmt.Errorf("tracesim: failure model %q: trace simulations model failures at midplane granularity (want midplanes, random_midplanes or correlated_region)", f.Model)
+		}
+		if f.Model == faults.ModelMidplanes {
+			m, err := scenario.ResolveMachine(n.Machine)
+			if err != nil {
+				return Spec{}, err
+			}
+			for _, id := range f.Midplanes {
+				if id >= m.Midplanes() {
+					return Spec{}, fmt.Errorf("tracesim: failed midplane %d out of range [0, %d) on %s", id, m.Midplanes(), n.Machine)
+				}
+			}
+		}
+		n.Failures = &f
+	}
 	return n, nil
 }
 
@@ -418,6 +451,9 @@ func (s Spec) Title() string {
 	title := fmt.Sprintf("trace %s · %s · %s", s.Machine, s.Policy, src)
 	if s.Backfill {
 		title += " · backfill"
+	}
+	if s.Failures != nil {
+		title += " · " + s.Failures.Model
 	}
 	return title
 }

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"netpart/internal/sched/tracesim"
+)
+
+func TestTraceEventNames(t *testing.T) {
+	for kind, want := range map[string]string{
+		"start": "job", "finish": "job",
+		"kill": "failure", "outage": "failure", "heal": "failure",
+	} {
+		if got := traceEventName(kind); got != want {
+			t.Errorf("traceEventName(%q) = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+// TestScenarioFailureSync: POST /v1/scenarios with a failure model
+// returns the robustness fields — the degradation delta vs the
+// healthy baseline of the same spec — in the synchronous response.
+func TestScenarioFailureSync(t *testing.T) {
+	_, ts := realServer(t, Options{})
+	doc := map[string]any{
+		"topology": map[string]any{"kind": "torus", "shape": "4x4"},
+		"workload": map[string]any{"pattern": "pairing", "bytes": 1e9},
+		"failures": map[string]any{"model": "random_links", "fraction": 0.25, "factor": 0.5},
+	}
+	code, _, body := post(t, ts.URL+"/v1/scenarios", doc)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	// The served document is the rendered table: the failure block's
+	// rows carry the robustness numbers.
+	for _, want := range []string{`"failure model"`, `"degraded links"`, `"healthy static (s)"`, `"degradation (x)"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("response missing %s:\n%s", want, body)
+		}
+	}
+	// A disconnecting failure is a client error, not a 500 panic.
+	doc["failures"] = map[string]any{"model": "random_links", "fraction": 1, "factor": 0}
+	code, _, body = post(t, ts.URL+"/v1/scenarios", doc)
+	if code != http.StatusUnprocessableEntity && code != http.StatusBadRequest {
+		t.Fatalf("disconnecting scenario: status %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), "no dor route") {
+		t.Errorf("error body %s", body)
+	}
+}
+
+// TestSweepFailureAxis: the degraded-links × policy chaos axis runs
+// end-to-end over POST /v1/sweeps; each failed point carries its
+// robustness delta and the rendered table gains the Δstatic column.
+func TestSweepFailureAxis(t *testing.T) {
+	s, ts := realServer(t, Options{})
+	doc := map[string]any{
+		"name": "chaos axis",
+		"base": map[string]any{
+			"topology": map[string]any{"kind": "partition", "machine": "2x2x2x1", "midplanes": 4},
+			"workload": map[string]any{"pattern": "pairing", "bytes": 1e9},
+			"failures": map[string]any{"model": "random_links", "factor": 0.5},
+		},
+		"axes": []map[string]any{
+			{"path": "topology.policy", "values": []any{"first-fit", "best-bisection", "contention-aware"}},
+			{"path": "failures.fraction", "values": []any{0, 0.05, 0.1}},
+		},
+	}
+	code, _, body := post(t, ts.URL+"/v1/sweeps", doc)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, body)
+	}
+	var job jobDoc
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if st := await(t, s, job.ID); st != StatusDone {
+		t.Fatalf("status %s", st)
+	}
+	code, _, body = get(t, fmt.Sprintf("%s/v1/sweeps/%s?format=csv", ts.URL, job.ID), nil)
+	if code != http.StatusOK {
+		t.Fatalf("csv status %d: %s", code, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 10 { // header + 9 points
+		t.Fatalf("csv has %d lines:\n%s", len(lines), body)
+	}
+	header := strings.Split(lines[0], ",")
+	col := -1
+	for i, h := range header {
+		if h == "Δstatic" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("no Δstatic column in %q", lines[0])
+	}
+	// Every point has a numeric degradation delta — no failed points,
+	// no healthy-baseline gaps.
+	for _, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		v, err := strconv.ParseFloat(cells[col], 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("Δstatic cell %q in row %q", cells[col], line)
+		}
+	}
+}
+
+// TestTraceFailureLifecycle: a trace with outage windows runs over
+// POST /v1/traces and its result reports kills, restarts and the
+// healthy-baseline deltas.
+func TestTraceFailureLifecycle(t *testing.T) {
+	s, ts := realServer(t, Options{})
+	doc := map[string]any{
+		"name":    "outage trace",
+		"machine": "4x2x2x1",
+		"jobs": []map[string]any{
+			{"midplanes": 16, "runtime_sec": 100},
+		},
+		"failures": map[string]any{
+			"model":     "midplanes",
+			"midplanes": []any{0},
+			"windows":   []map[string]any{{"start_sec": 50, "end_sec": 60}},
+		},
+	}
+	code, _, body := post(t, ts.URL+"/v1/traces", doc)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, body)
+	}
+	var job jobDoc
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if st := await(t, s, job.ID); st != StatusDone {
+		t.Fatalf("status %s", st)
+	}
+	code, _, body = get(t, fmt.Sprintf("%s/v1/traces/%s", ts.URL, job.ID), nil)
+	if code != http.StatusOK {
+		t.Fatalf("result status %d: %s", code, body)
+	}
+	// The table's failure block: 1 kill, healthy makespan 100s, delta
+	// 1.6x (killed at 50, blocked to 60, rerun to 160).
+	for _, want := range []string{`"kills"`, `"failed midplanes"`, `"healthy makespan (s)"`, `"makespan delta (x)"`, `"1.600"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("result missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// TestTraceFailureSSEPassthrough: failure-named frames published by a
+// trace flight reach SSE subscribers under the "failure" event name,
+// separate from job lifecycle frames.
+func TestTraceFailureSSEPassthrough(t *testing.T) {
+	s, ts, g := gatedServer(t, Options{})
+	code, _, body := post(t, ts.URL+"/v1/traces", tinyTrace("failure sse"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var job jobDoc
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	info := g.next(t)
+	stream, _ := openSSE(t, ts, "traces/"+job.ID)
+	for _, ev := range []tracesim.Event{
+		{Kind: "start", Job: 0, TimeSec: 0},
+		{Kind: "outage", Job: -1, TimeSec: 50, Midplanes: 1},
+		{Kind: "kill", Job: 0, TimeSec: 50},
+		{Kind: "heal", Job: -1, TimeSec: 60, Midplanes: 1},
+		{Kind: "start", Job: 0, TimeSec: 60},
+		{Kind: "finish", Job: 0, TimeSec: 160},
+	} {
+		info.publishRaw(streamEvent{name: traceEventName(ev.Kind), data: ev})
+	}
+	close(info.proceed)
+	if st := await(t, s, job.ID); st != StatusDone {
+		t.Fatalf("status %s", st)
+	}
+	events := readSSE(t, stream, 64)
+	var jobEvents, failureEvents int
+	for _, ev := range events {
+		switch ev.name {
+		case "job":
+			jobEvents++
+		case "failure":
+			var te tracesim.Event
+			if err := json.Unmarshal([]byte(ev.data), &te); err != nil {
+				t.Fatalf("failure data %q: %v", ev.data, err)
+			}
+			if te.Kind != "outage" && te.Kind != "heal" && te.Kind != "kill" {
+				t.Errorf("failure frame kind %q", te.Kind)
+			}
+			failureEvents++
+		}
+	}
+	if jobEvents != 3 || failureEvents != 3 {
+		t.Fatalf("job=%d failure=%d in %+v", jobEvents, failureEvents, events)
+	}
+}

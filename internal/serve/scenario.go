@@ -9,6 +9,7 @@ import (
 	"runtime/debug"
 
 	"netpart"
+	"netpart/internal/route"
 	"netpart/internal/scenario/sweep"
 )
 
@@ -84,6 +85,10 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		writeError(w, 499, "canceled")
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "run exceeded the server's run timeout")
+	case errors.As(err, new(*route.DisconnectedError)):
+		// The submitted failure model disconnects the topology: a
+		// property of the document, not a server fault.
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}

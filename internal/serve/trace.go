@@ -153,9 +153,23 @@ func (s *Server) runTrace(ctx context.Context, key Key, opts netpart.RunOptions,
 	progress := func(p netpart.Progress) { publish(progressEvent(p)) }
 	runner := netpart.NewRunner(netpart.WithWorkers(workers), netpart.WithProgress(progress))
 	if task.spec != nil {
-		onEvent := func(ev netpart.TraceEvent) { publish(streamEvent{name: "job", data: ev}) }
+		onEvent := func(ev netpart.TraceEvent) {
+			publish(streamEvent{name: traceEventName(ev.Kind), data: ev})
+		}
 		return runner.RunTrace(ctx, *task.spec, onEvent)
 	}
 	onPoint := func(p netpart.TracePoint) { publish(streamEvent{name: "point", data: p}) }
 	return runner.RunTraceGrid(ctx, *task.grid, onPoint)
+}
+
+// traceEventName maps a simulator event kind to its SSE event name:
+// failure-model occurrences (outage, heal, kill) stream under their
+// own "failure" name so dashboards can subscribe to them without
+// parsing every job lifecycle frame.
+func traceEventName(kind string) string {
+	switch kind {
+	case "outage", "heal", "kill":
+		return "failure"
+	}
+	return "job"
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"netpart/internal/experiments"
+	"netpart/internal/faults"
 	"netpart/internal/scenario"
 	"netpart/internal/scenario/sweep"
 )
@@ -37,6 +38,18 @@ type ScenarioSim = scenario.SimSpec
 // ScenarioOutcome is the typed result of one scenario run; it is the
 // Data payload of RunScenario's Result.
 type ScenarioOutcome = scenario.Outcome
+
+// FailureSpec declares a failure model on a scenario or trace: failed
+// or degraded links/midplanes, seeded random or correlated-region
+// selection, and (for traces) time-varying outage windows.
+type FailureSpec = faults.Spec
+
+// FailureWindow is one time-varying outage window of a FailureSpec.
+type FailureWindow = faults.Window
+
+// Robustness carries a failed scenario's healthy-baseline metrics and
+// degradation deltas (ScenarioOutcome.Healthy).
+type Robustness = scenario.Robustness
 
 // SweepGrid declares a parameter grid over a base scenario.
 type SweepGrid = sweep.Grid
