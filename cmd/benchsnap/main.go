@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	benchsnap [-bench 'BenchmarkSweep|BenchmarkScenario|BenchmarkTrace'] [-benchtime 100ms]
-//	          [-count 3] [-out BENCH_sweep.json] [packages ...]
+//	benchsnap [-bench 'BenchmarkSweep|BenchmarkScenario|BenchmarkTrace|BenchmarkStore|BenchmarkArchive']
+//	          [-benchtime 100ms] [-count 3] [-out BENCH_sweep.json] [packages ...]
 //
-// Packages default to the repository root package. The output
+// Packages default to the repository root plus the store and serve
+// packages (the persistence hot paths). The output
 // document records the toolchain, platform, the exact selection, and
 // one entry per benchmark with iterations, ns/op and (when -benchmem
 // applies, which benchsnap always passes) B/op and allocs/op.
@@ -68,7 +69,7 @@ type snapshot struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	bench := flag.String("bench", "BenchmarkSweep|BenchmarkScenario|BenchmarkTrace", "benchmark selection regexp (go test -bench)")
+	bench := flag.String("bench", "BenchmarkSweep|BenchmarkScenario|BenchmarkTrace|BenchmarkStore|BenchmarkArchive", "benchmark selection regexp (go test -bench)")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark time or iteration budget")
 	count := flag.Int("count", 3, "repetitions per benchmark")
 	out := flag.String("out", "BENCH_sweep.json", "output file (- for stdout)")
@@ -78,7 +79,7 @@ func main() {
 
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
-		pkgs = []string{"."}
+		pkgs = []string{".", "./internal/store", "./internal/serve"}
 	}
 
 	args := []string{"test", "-run", "^$",

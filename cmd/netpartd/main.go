@@ -9,11 +9,27 @@
 //
 //	netpartd [-addr :8080] [-workers 0] [-run-timeout 10m]
 //	         [-cheap 16] [-moderate 4] [-heavy 1] [-grace 30s]
+//	         [-store-dir DIR] [-store-max-bytes N]
+//	         [-peers http://h1:8080,http://h2:8080] [-peer-timeout 2m]
+//
+// With -store-dir, finished dynamic results (scenarios, sweeps,
+// traces) persist to a content-addressed blob store in DIR: the next
+// netpartd on the same directory warm-starts, serving them over
+// GET /v1/archive/{hash} byte-identically without recomputing.
+// -store-max-bytes bounds the directory (oldest-access blobs are
+// evicted past it; 0 means unbounded).
+//
+// With -peers, the daemon is a coordinator: sweep and trace-grid
+// points fan out to the listed worker netpartds (sharded by point
+// content hash, coalesced on each worker, recomputed locally when a
+// peer fails or exceeds -peer-timeout). Output bytes are identical to
+// single-process execution regardless of fleet health.
 //
 // The daemon logs the bound address on startup ("listening on ..."),
 // so -addr 127.0.0.1:0 works for smoke tests that need a free port.
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
-// in-flight jobs get -grace to finish, stragglers are canceled.
+// in-flight jobs get -grace to finish, stragglers are canceled, and
+// outstanding store writes complete.
 //
 // Quick tour:
 //
@@ -50,12 +66,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"netpart"
 	"netpart/internal/serve"
+	"netpart/internal/store"
 )
 
 func main() {
@@ -66,14 +84,21 @@ func main() {
 	moderate := flag.Int("moderate", serve.DefaultAdmission[netpart.CostModerate], "max concurrent moderate runs")
 	heavy := flag.Int("heavy", serve.DefaultAdmission[netpart.CostHeavy], "max concurrent heavy runs")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace for in-flight jobs")
+	storeDir := flag.String("store-dir", "", "persist results to this directory (empty disables)")
+	storeMax := flag.Int64("store-max-bytes", 0, "store byte budget, LRU-evicted past it (0 = unbounded)")
+	peers := flag.String("peers", "", "comma-separated worker base URLs; makes this daemon a coordinator")
+	peerTimeout := flag.Duration("peer-timeout", serve.DefaultPeerTimeout, "per-point peer dispatch deadline (0 disables)")
 	flag.Parse()
 	log.SetPrefix("netpartd: ")
 	log.SetFlags(log.LstdFlags)
 	if *runTimeout == 0 {
 		*runTimeout = -1 // flag 0 means no deadline; Options 0 means default
 	}
+	if *peerTimeout == 0 {
+		*peerTimeout = -1
+	}
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		Workers:    *workers,
 		RunTimeout: *runTimeout,
 		Admission: map[netpart.Cost]int{
@@ -81,7 +106,27 @@ func main() {
 			netpart.CostModerate: *moderate,
 			netpart.CostHeavy:    *heavy,
 		},
-	})
+		PeerTimeout: *peerTimeout,
+	}
+	if *storeDir != "" {
+		fs, err := store.OpenFS(*storeDir, *storeMax)
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		st := fs.Stats()
+		log.Printf("store: %s (%d blobs, %d bytes)", fs.Dir(), st.Entries, st.Bytes)
+		opts.Store = fs
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			opts.Peers = append(opts.Peers, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(opts.Peers) > 0 {
+		log.Printf("coordinator mode: %d peers", len(opts.Peers))
+	}
+
+	srv := serve.New(opts)
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,

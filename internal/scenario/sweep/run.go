@@ -46,6 +46,12 @@ type Options struct {
 	// OnProgress, when non-nil, receives (completedPoints, total)
 	// after every point. Calls are serialized and monotone.
 	OnProgress func(done, total int)
+	// RunPoint, when non-nil, replaces scenario.Run as the per-point
+	// executor — the seam a distributed coordinator uses to dispatch
+	// points to worker daemons. It must be byte-equivalent to
+	// scenario.Run for the same spec (including error strings), or the
+	// sweep result stops being deterministic.
+	RunPoint func(ctx context.Context, spec scenario.Spec) (*scenario.Outcome, error)
 }
 
 // shardSizeFor balances dispatch overhead against skew: aim for ~8
@@ -94,6 +100,13 @@ func RunPoints(ctx context.Context, g Grid, points []Point, opts Options) (*Resu
 		return res, nil
 	}
 
+	runPoint := opts.RunPoint
+	if runPoint == nil {
+		runPoint = func(ctx context.Context, spec scenario.Spec) (*scenario.Outcome, error) {
+			return scenario.Run(ctx, spec)
+		}
+	}
+
 	cfg := experiments.Config{Workers: opts.Workers}
 	shardSize := opts.ShardSize
 	if shardSize <= 0 {
@@ -113,7 +126,7 @@ func RunPoints(ctx context.Context, g Grid, points []Point, opts Options) (*Resu
 				return err
 			}
 			pr := PointResult{Index: i, Coords: points[i].Coords}
-			out, err := scenario.Run(ctx, points[i].Spec)
+			out, err := runPoint(ctx, points[i].Spec)
 			switch {
 			case err != nil && ctx.Err() != nil:
 				return ctx.Err()

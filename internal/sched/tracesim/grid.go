@@ -170,6 +170,12 @@ type GridOptions struct {
 	// OnProgress, when non-nil, receives (completedPoints, total)
 	// after every point. Calls are serialized and monotone.
 	OnProgress func(done, total int)
+	// RunPoint, when non-nil, replaces Run as the per-point executor —
+	// the seam a distributed coordinator uses to dispatch points to
+	// worker daemons. It must be byte-equivalent to Run for the same
+	// spec (including error strings), or the grid result stops being
+	// deterministic.
+	RunPoint func(ctx context.Context, spec Spec) (*Result, error)
 }
 
 // RunGrid executes pre-expanded grid points on the experiment
@@ -192,6 +198,13 @@ func RunGrid(ctx context.Context, g Grid, points []Point, opts GridOptions) (*Gr
 		return res, nil
 	}
 
+	runPoint := opts.RunPoint
+	if runPoint == nil {
+		runPoint = func(ctx context.Context, spec Spec) (*Result, error) {
+			return Run(ctx, spec, Options{})
+		}
+	}
+
 	cfg := experiments.Config{Workers: opts.Workers}
 	var mu sync.Mutex
 	done := 0
@@ -200,7 +213,7 @@ func RunGrid(ctx context.Context, g Grid, points []Point, opts GridOptions) (*Gr
 			return err
 		}
 		pr := PointResult{Index: i, Coords: points[i].Coords}
-		out, err := Run(ctx, points[i].Spec, Options{})
+		out, err := runPoint(ctx, points[i].Spec)
 		switch {
 		case err != nil && ctx.Err() != nil:
 			return ctx.Err()

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"netpart/internal/store"
+)
+
+// Archive endpoints: the REST surface over the persistent result
+// store. Every dynamic result netpartd ever computed (and has not
+// evicted) is listable and replayable by its content hash, across
+// restarts, without recomputation:
+//
+//	GET /v1/archive               paginated listing (?after=, ?limit=)
+//	GET /v1/archive/{hash}        replay a persisted result
+//
+// Replays run through the regular entry machinery, so content
+// negotiation, strong ETags and If-None-Match revalidation behave
+// exactly as on the original computation — byte-identically, since
+// the persisted encodings are the original bytes and tags.
+
+// maxArchivePage bounds one listing page; defaultArchivePage applies
+// when the client does not choose.
+const (
+	maxArchivePage     = 1000
+	defaultArchivePage = 100
+)
+
+// archiveDoc is the GET /v1/archive response: one page of entries in
+// ascending ID order, plus the cursor for the next page when more may
+// follow.
+type archiveDoc struct {
+	Results []store.Info `json:"results"`
+	Next    string       `json:"next,omitempty"`
+	Store   store.Stats  `json:"store"`
+}
+
+// handleArchiveList pages through the persisted results. Cursor
+// pagination on the content-hash ID: pass next back as ?after= until
+// next disappears.
+func (s *Server) handleArchiveList(w http.ResponseWriter, r *http.Request) {
+	st := s.opts.Store
+	if st == nil {
+		writeError(w, http.StatusNotImplemented, "no persistent store configured (start netpartd with --store-dir)")
+		return
+	}
+	q := r.URL.Query()
+	limit := defaultArchivePage
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxArchivePage {
+			writeError(w, http.StatusBadRequest, "bad limit %q (want 1..%d)", v, maxArchivePage)
+			return
+		}
+		limit = n
+	}
+	doc := archiveDoc{Results: st.List(q.Get("after"), limit), Store: st.Stats()}
+	if doc.Results == nil {
+		doc.Results = []store.Info{}
+	}
+	if len(doc.Results) == limit {
+		doc.Next = doc.Results[len(doc.Results)-1].ID
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleArchiveReplay serves one persisted result by its content hash
+// ("sweep:<hash>", "trace:<hash>", ...). The read path is memory
+// first, then the store — a replay after a restart restores the blob
+// into the memory tier, so the second hit is RAM-speed. Content
+// negotiation and ETags work exactly as on the original response.
+func (s *Server) handleArchiveReplay(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("hash")
+	if !strings.ContainsRune(id, ':') {
+		// Registry results are never archived: they depend on the code
+		// version, not on a content-hashed definition.
+		writeError(w, http.StatusNotFound, "no archived result %q (archive IDs look like \"sweep:<hash>\")", id)
+		return
+	}
+	e, ok := s.cache.replay(Key{ID: id})
+	if !ok {
+		writeError(w, http.StatusNotFound, "no archived result %q", id)
+		return
+	}
+	writeEntry(w, r, e)
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
 	"netpart"
+	"netpart/internal/store"
 )
 
 // Key identifies one cacheable result: an experiment ID plus the
@@ -65,21 +67,28 @@ func etagFor(body []byte) string {
 }
 
 // entry is a finished, cached result plus its lazily rendered
-// encodings (one per negotiated content type).
+// encodings (one per negotiated content type, plus the internal
+// typed-data encoding peers exchange). Entries restored from the
+// persistent store carry no Result — only the byte-exact encodings
+// persisted when the result was first computed — so res may be nil.
 type entry struct {
-	res *netpart.Result
+	res *netpart.Result // nil for store-restored entries
 
 	mu   sync.Mutex
 	encs map[string]*encoding
 }
 
 // encoding renders (once) and returns the representation for the
-// given content type.
+// given content type. Store-restored entries can only serve the
+// encodings that were persisted; they have no Result to render from.
 func (e *entry) encoding(ct string) (*encoding, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if enc, ok := e.encs[ct]; ok {
 		return enc, nil
+	}
+	if e.res == nil {
+		return nil, fmt.Errorf("serve: encoding %q not persisted", ct)
 	}
 	var body []byte
 	var err error
@@ -90,6 +99,11 @@ func (e *entry) encoding(ct string) (*encoding, error) {
 		body, err = e.res.CSV()
 	case ctMarkdown:
 		body = e.res.Markdown()
+	case ctData:
+		if e.res.Data == nil {
+			return nil, fmt.Errorf("serve: result has no typed data")
+		}
+		body, err = json.Marshal(e.res.Data)
 	default:
 		err = fmt.Errorf("serve: no encoder for %q", ct)
 	}
@@ -99,6 +113,17 @@ func (e *entry) encoding(ct string) (*encoding, error) {
 	enc := &encoding{contentType: ct, body: body, etag: etagFor(body)}
 	e.encs[ct] = enc
 	return enc, nil
+}
+
+// restoredEntry rebuilds an entry from a persisted blob: every
+// encoding lands pre-rendered with the bytes and tag written at
+// compute time, so replays are byte-identical across restarts.
+func restoredEntry(blob *store.Blob) *entry {
+	e := &entry{encs: make(map[string]*encoding, len(blob.Encodings))}
+	for _, enc := range blob.Encodings {
+		e.encs[enc.ContentType] = &encoding{contentType: enc.ContentType, body: enc.Body, etag: enc.ETag}
+	}
+	return e
 }
 
 // streamEvent is one event published to a flight's waiters: progress
@@ -182,25 +207,75 @@ const maxDynamicEntries = 256
 
 // cache is the coalescing result cache: completed results by Key,
 // plus the in-flight runs identical requests join instead of
-// recomputing. Completed registry entries live forever (that key
-// space is bounded); dynamic entries are evicted oldest-first past
+// recomputing, in front of an optional persistent store tier.
+// Completed registry entries live forever (that key space is
+// bounded); dynamic entries are evicted oldest-first past
 // maxDynamicEntries; failed flights evaporate.
+//
+// The store is wired read-through/write-behind for dynamic keys: a
+// memory miss consults the store before starting a flight (a hit
+// restores the persisted encodings, byte-identical with the original
+// tags, with zero recomputation), and a flight's freshly computed
+// result is persisted asynchronously after its waiters are released.
+// Registry keys never touch the store — their results depend on the
+// code version, not on a content-hashed definition.
 type cache struct {
 	run     runFunc
 	timeout time.Duration // per-flight run deadline, 0 = none
+	store   store.Store   // persistent tier, nil = memory only
+
+	persists sync.WaitGroup // outstanding write-behind persists
 
 	mu       sync.Mutex
 	entries  map[Key]*entry
 	flights  map[Key]*flight
 	dynOrder []Key // dynamic keys in insertion order, for eviction
+
+	// Observability counters, guarded by mu.
+	hits        int64 // answered from a completed memory entry
+	storeHits   int64 // answered by restoring a persisted blob
+	misses      int64 // flights started (actual computations)
+	coalesced   int64 // waiters joining an existing flight
+	evictions   int64 // dynamic memory entries evicted
+	persistErrs int64 // write-behind persists that failed
 }
 
-func newCache(run runFunc, timeout time.Duration) *cache {
+// cacheStats is a point-in-time snapshot of the cache counters for
+// the healthz document.
+type cacheStats struct {
+	Entries   int   `json:"entries"`
+	Dynamic   int   `json:"dynamic_entries"`
+	Flights   int   `json:"flights"`
+	Hits      int64 `json:"hits"`
+	StoreHits int64 `json:"store_hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+}
+
+func newCache(run runFunc, timeout time.Duration, st store.Store) *cache {
 	return &cache{
 		run:     run,
 		timeout: timeout,
+		store:   st,
 		entries: map[Key]*entry{},
 		flights: map[Key]*flight{},
+	}
+}
+
+// stats snapshots the cache counters.
+func (c *cache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   len(c.entries),
+		Dynamic:   len(c.dynOrder),
+		Flights:   len(c.flights),
+		Hits:      c.hits,
+		StoreHits: c.storeHits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
 	}
 }
 
@@ -210,6 +285,76 @@ func (c *cache) cached(key Key) (*entry, bool) {
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
 	return e, ok
+}
+
+// insertEntryLocked registers a completed entry, applying the dynamic
+// bound. Callers hold c.mu.
+func (c *cache) insertEntryLocked(key Key, e *entry) {
+	if _, present := c.entries[key]; !present && key.dynamic() {
+		c.dynOrder = append(c.dynOrder, key)
+		for len(c.dynOrder) > maxDynamicEntries {
+			delete(c.entries, c.dynOrder[0])
+			c.dynOrder = c.dynOrder[1:]
+			c.evictions++
+		}
+	}
+	c.entries[key] = e
+}
+
+// restore consults the persistent tier for a dynamic key and, on a
+// hit, promotes the blob into a memory entry. Disk IO runs outside
+// the cache lock; a racing flight or restore for the same key is
+// resolved by whoever inserts first (identical bytes either way).
+func (c *cache) restore(key Key) (*entry, bool) {
+	if c.store == nil || !key.dynamic() {
+		return nil, false
+	}
+	blob, ok := c.store.Get(key.ID)
+	if !ok {
+		return nil, false
+	}
+	e := restoredEntry(blob)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, present := c.entries[key]; present {
+		return cur, true // racer won with equivalent bytes
+	}
+	c.insertEntryLocked(key, e)
+	c.storeHits++
+	return e, true
+}
+
+// replay returns the entry for key without computing: memory first,
+// then the persistent tier. It is the archive read path.
+func (c *cache) replay(key Key) (*entry, bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return e, true
+	}
+	c.mu.Unlock()
+	return c.restore(key)
+}
+
+// evict removes the completed entry for key from the memory tier and
+// the persistent tier. In-flight computations are untouched (jobs
+// coalesced onto them hold their own references).
+func (c *cache) evict(key Key) {
+	c.mu.Lock()
+	if _, ok := c.entries[key]; ok {
+		delete(c.entries, key)
+		for i, k := range c.dynOrder {
+			if k == key {
+				c.dynOrder = append(c.dynOrder[:i], c.dynOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	if c.store != nil && key.dynamic() {
+		c.store.Delete(key.ID) //nolint:errcheck // eviction is best-effort
+	}
 }
 
 // do returns the entry for key, starting a run or joining the
@@ -222,10 +367,28 @@ func (c *cache) cached(key Key) (*entry, bool) {
 func (c *cache) do(ctx context.Context, key Key, opts netpart.RunOptions, payload any, onEvent func(streamEvent)) (*entry, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
+		c.hits++
 		c.mu.Unlock()
 		return e, nil
 	}
 	f, ok := c.flights[key]
+	if !ok && c.store != nil && key.dynamic() {
+		// Memory miss with no flight: read through to the persistent
+		// tier before computing. The lock drops around the disk read;
+		// afterwards re-check for entries and flights that appeared
+		// meanwhile.
+		c.mu.Unlock()
+		if e, ok := c.restore(key); ok {
+			return e, nil
+		}
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return e, nil
+		}
+		f, ok = c.flights[key]
+	}
 	if !ok {
 		fctx := context.Background()
 		var cancel context.CancelFunc
@@ -242,7 +405,10 @@ func (c *cache) do(ctx context.Context, key Key, opts netpart.RunOptions, payloa
 			subs:    map[int]func(streamEvent){},
 		}
 		c.flights[key] = f
+		c.misses++
 		go c.runFlight(f, fctx, opts)
+	} else {
+		c.coalesced++
 	}
 	f.waiters++
 	c.mu.Unlock()
@@ -286,14 +452,7 @@ func (c *cache) runFlight(f *flight, ctx context.Context, opts netpart.RunOption
 	c.mu.Lock()
 	if err == nil {
 		f.entry = &entry{res: res, encs: map[string]*encoding{}}
-		if _, present := c.entries[f.key]; !present && f.key.dynamic() {
-			c.dynOrder = append(c.dynOrder, f.key)
-			for len(c.dynOrder) > maxDynamicEntries {
-				delete(c.entries, c.dynOrder[0])
-				c.dynOrder = c.dynOrder[1:]
-			}
-		}
-		c.entries[f.key] = f.entry
+		c.insertEntryLocked(f.key, f.entry)
 	}
 	f.err = err
 	if c.flights[f.key] == f {
@@ -302,4 +461,48 @@ func (c *cache) runFlight(f *flight, ctx context.Context, opts netpart.RunOption
 	c.mu.Unlock()
 	close(f.done)
 	f.cancel()
+	if err == nil && c.store != nil && f.key.dynamic() {
+		// Write-behind: persist after the waiters are released, off
+		// their latency path. Shutdown waits for outstanding persists.
+		c.persists.Add(1)
+		go func() {
+			defer c.persists.Done()
+			c.persist(f.key, f.entry)
+		}()
+	}
+}
+
+// persistedEncodings is the set of content types written to the
+// store: the three negotiable representations plus the internal
+// typed-data encoding peer dispatch relies on.
+var persistedEncodings = []string{ctJSON, ctCSV, ctMarkdown, ctData}
+
+// persist renders every persisted encoding of a freshly computed
+// entry and writes the blob. Persistence is best-effort: a failure
+// only costs a future recomputation.
+func (c *cache) persist(key Key, e *entry) {
+	blob := &store.Blob{
+		ID: key.ID,
+		Meta: store.Meta{
+			Experiment: e.res.Experiment.ID,
+			Title:      e.res.Experiment.Title,
+			Kind:       string(e.res.Experiment.Kind),
+			Cost:       string(e.res.Experiment.Cost),
+			FullRounds: e.res.Meta.FullRounds,
+		},
+	}
+	for _, ct := range persistedEncodings {
+		enc, err := e.encoding(ct)
+		if err != nil {
+			continue // e.g. a result without typed data
+		}
+		blob.Encodings = append(blob.Encodings, store.Encoding{
+			ContentType: enc.contentType, ETag: enc.etag, Body: enc.body,
+		})
+	}
+	if len(blob.Encodings) == 0 || c.store.Put(blob) != nil {
+		c.mu.Lock()
+		c.persistErrs++
+		c.mu.Unlock()
+	}
 }

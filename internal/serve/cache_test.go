@@ -23,7 +23,7 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 		calls.Add(1)
 		<-release
 		return fakeResult(k), nil
-	}, 0)
+	}, 0, nil)
 
 	const n = 32
 	entries := make([]*entry, n)
@@ -68,7 +68,7 @@ func TestCacheErrorsAreNotCached(t *testing.T) {
 			return nil, boom
 		}
 		return fakeResult(k), nil
-	}, 0)
+	}, 0, nil)
 	key := Key{ID: "table1"}
 	if _, err := c.do(context.Background(), key, netpart.RunOptions{}, nil, nil); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
@@ -87,7 +87,7 @@ func TestCacheErrorsAreNotCached(t *testing.T) {
 func TestCacheLastWaiterCancelsRun(t *testing.T) {
 	key := Key{ID: "table6"}
 	g := newGate()
-	c := newCache(g.run, 0)
+	c := newCache(g.run, 0, nil)
 
 	ctxA, cancelA := context.WithCancel(context.Background())
 	ctxB, cancelB := context.WithCancel(context.Background())
@@ -146,7 +146,7 @@ func TestCacheRunTimeout(t *testing.T) {
 	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
-	}, 10*time.Millisecond)
+	}, 10*time.Millisecond, nil)
 	if _, err := c.do(context.Background(), Key{ID: "figure3"}, netpart.RunOptions{}, nil, nil); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"netpart"
+)
+
+// Distributed grid fan-out: a netpartd started with --peers becomes a
+// coordinator — sweep and trace-grid points are dispatched to worker
+// netpartds over the peer API instead of running on the local pool.
+//
+// The design leans entirely on content addressing. A point's work
+// unit is its own dynamic ID ("scenario:<hash>" / "trace:<hash>"),
+// and a worker runs it through its own coalescing cache + store, so:
+//
+//   - Placement is deterministic: a point maps to a peer by hashing
+//     its content ID, so two coordinators sharding the same grid send
+//     each point to the same worker, whose cache singleflights them —
+//     coalescing generalizes across nodes with no coordination
+//     protocol beyond the hash.
+//   - Failover is trivially correct: scenario and trace execution is
+//     byte-deterministic, so when a peer fails or times out the
+//     coordinator recomputes the point locally and the sweep's bytes
+//     are identical to a single-process run. A dead fleet degrades to
+//     one slow daemon, never to a wrong or partial result.
+//
+// Workers reply with the internal typed-data encoding (ctData): the
+// JSON round trip through scenario.Outcome / tracesim.Result is exact
+// (all-exported, JSON-tagged structs; float64 survives encoding/json
+// bit-for-bit), so tables the coordinator renders from a decoded
+// outcome match tables rendered from a local run byte-for-byte.
+
+// DefaultPeerTimeout caps one peer point dispatch unless overridden.
+// Points past it fail over to local execution.
+const DefaultPeerTimeout = 2 * time.Minute
+
+// peer is one worker endpoint plus its dispatch counters.
+type peer struct {
+	base string // e.g. "http://10.0.0.7:8080"
+
+	dispatched atomic.Int64 // points successfully executed remotely
+	failed     atomic.Int64 // dispatch attempts that fell back to local
+}
+
+// peerDoc is a peer's healthz representation.
+type peerDoc struct {
+	URL        string `json:"url"`
+	Dispatched int64  `json:"dispatched"`
+	Failed     int64  `json:"failed"`
+}
+
+// peerPool shards points across worker daemons.
+type peerPool struct {
+	peers   []*peer
+	client  *http.Client
+	timeout time.Duration
+}
+
+func newPeerPool(urls []string, timeout time.Duration) *peerPool {
+	if timeout == 0 {
+		timeout = DefaultPeerTimeout
+	}
+	if timeout < 0 {
+		timeout = 0
+	}
+	pp := &peerPool{client: &http.Client{}, timeout: timeout}
+	for _, u := range urls {
+		pp.peers = append(pp.peers, &peer{base: u})
+	}
+	return pp
+}
+
+// pick maps a point's content ID onto a peer. The mapping is a pure
+// function of the ID, so every coordinator in a fleet routes the same
+// point to the same worker and the worker's cache coalesces the
+// duplicates.
+func (pp *peerPool) pick(id string) *peer {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return pp.peers[int(h.Sum32())%len(pp.peers)]
+}
+
+// stats snapshots per-peer dispatch counters for healthz.
+func (pp *peerPool) stats() []peerDoc {
+	docs := make([]peerDoc, len(pp.peers))
+	for i, p := range pp.peers {
+		docs[i] = peerDoc{URL: p.base, Dispatched: p.dispatched.Load(), Failed: p.failed.Load()}
+	}
+	return docs
+}
+
+// maxPeerResponse bounds a worker reply; a point outcome is a bounded
+// document (specs and traces are bounded at submission).
+const maxPeerResponse = 32 << 20
+
+// dispatch POSTs one work unit to the peer owning id and decodes the
+// ctData reply into out (a pointer). Any failure — connect, timeout,
+// non-200, wrong content type, undecodable body — is returned for the
+// caller to fall back on; the peer API has no partial-success states.
+func (pp *peerPool) dispatch(ctx context.Context, path, id string, unit, out any) error {
+	p := pp.pick(id)
+	err := pp.post(ctx, p, path, unit, out)
+	if err != nil {
+		p.failed.Add(1)
+		return err
+	}
+	p.dispatched.Add(1)
+	return nil
+}
+
+func (pp *peerPool) post(ctx context.Context, p *peer, path string, unit, out any) error {
+	body, err := json.Marshal(unit)
+	if err != nil {
+		return fmt.Errorf("serve: marshal peer work unit: %w", err)
+	}
+	if pp.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pp.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ctJSON)
+	resp, err := pp.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponse))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: peer %s: %s: %s", p.base, resp.Status, bytes.TrimSpace(data))
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, ctData) {
+		return fmt.Errorf("serve: peer %s: unexpected content type %q", p.base, ct)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// dispatchScenario runs one sweep point on the fleet, returning the
+// decoded outcome or an error the caller falls back on.
+func (pp *peerPool) dispatchScenario(ctx context.Context, spec netpart.ScenarioSpec) (*netpart.ScenarioOutcome, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err // invalid spec: no peer can do better
+	}
+	var out netpart.ScenarioOutcome
+	if err := pp.dispatch(ctx, "/v1/peer/scenarios", norm.ID(), norm, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// dispatchTrace runs one trace-grid point on the fleet.
+func (pp *peerPool) dispatchTrace(ctx context.Context, spec netpart.TraceSpec) (*netpart.TraceOutcome, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	var out netpart.TraceOutcome
+	if err := pp.dispatch(ctx, "/v1/peer/traces", norm.ID(), norm, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// --- worker side ---
+
+// writePeerEntry replies to a peer dispatch with the entry's internal
+// typed-data encoding. Peer replies carry the same strong ETag
+// machinery as client responses, though coordinators today always
+// want the body.
+func writePeerEntry(w http.ResponseWriter, r *http.Request, e *entry) {
+	enc, err := e.encoding(ctData)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	h := w.Header()
+	h.Set("ETag", enc.etag)
+	h.Set("Content-Type", enc.contentType)
+	h.Set("Content-Length", fmt.Sprint(len(enc.body)))
+	if matchETag(r.Header.Get("If-None-Match"), enc.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Write(enc.body) //nolint:errcheck
+}
+
+// handlePeerScenario executes one scenario work unit for a
+// coordinator. The run goes through this worker's own coalescing
+// cache and store: concurrent dispatches of the same point (two
+// coordinators sharding one grid) singleflight here, and warm points
+// answer from memory or disk without recomputing.
+func (s *Server) handlePeerScenario(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxScenarioBody))
+	dec.DisallowUnknownFields()
+	var spec netpart.ScenarioSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad scenario body: %v", err)
+		return
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.cache.do(r.Context(), Key{ID: norm.ID()}, netpart.RunOptions{}, norm, nil)
+	if err != nil {
+		// Any error — domain (disconnected topology), timeout,
+		// cancellation — maps to a dispatch failure; the coordinator
+		// reproduces it locally, where the error string is identical by
+		// determinism.
+		writePeerError(w, err)
+		return
+	}
+	writePeerEntry(w, r, e)
+}
+
+// handlePeerTrace executes one trace work unit for a coordinator.
+func (s *Server) handlePeerTrace(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxTraceBody))
+	dec.DisallowUnknownFields()
+	var spec netpart.TraceSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad trace body: %v", err)
+		return
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.cache.do(r.Context(), Key{ID: norm.ID()}, netpart.RunOptions{}, &traceTask{spec: &norm}, nil)
+	if err != nil {
+		writePeerError(w, err)
+		return
+	}
+	writePeerEntry(w, r, e)
+}
+
+// writePeerError maps a work-unit failure onto a status a coordinator
+// treats uniformly as "recompute locally".
+func writePeerError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.Canceled):
+		code = 499
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	}
+	writeError(w, code, "%v", err)
+}

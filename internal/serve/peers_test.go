@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// healthSnapshot fetches and decodes /v1/healthz.
+func healthSnapshot(t *testing.T, ts *httptest.Server) healthDoc {
+	t.Helper()
+	code, _, body := get(t, ts.URL+"/v1/healthz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	var doc healthDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	return doc
+}
+
+// TestPeerShardedSweep: a sweep run by a coordinator over worker
+// daemons is byte-identical (body and ETag) to the same sweep run by
+// a single process, and the points actually executed remotely.
+func TestPeerShardedSweep(t *testing.T) {
+	ref, refTS := realServer(t, Options{})
+	_, w1 := realServer(t, Options{})
+	_, w2 := realServer(t, Options{})
+	coord, coordTS := realServer(t, Options{Peers: []string{w1.URL, w2.URL}})
+
+	_, want, wantTag := runSweepJob(t, ref, refTS, tinySweep("sharded"))
+	_, got, gotTag := runSweepJob(t, coord, coordTS, tinySweep("sharded"))
+	if string(got) != string(want) || gotTag != wantTag {
+		t.Fatal("sharded sweep differs from single-process execution")
+	}
+
+	doc := healthSnapshot(t, coordTS)
+	if len(doc.Peers) != 2 {
+		t.Fatalf("peers %+v", doc.Peers)
+	}
+	var dispatched, failed int64
+	for _, p := range doc.Peers {
+		dispatched += p.Dispatched
+		failed += p.Failed
+	}
+	if dispatched != 4 || failed != 0 {
+		t.Errorf("dispatched %d failed %d, want 4/0", dispatched, failed)
+	}
+}
+
+// TestPeerFailover: a peer that dies mid-sweep (after serving one
+// point) only costs local recomputation — the result is byte-identical
+// to single-process execution and the failure is counted.
+func TestPeerFailover(t *testing.T) {
+	ref, refTS := realServer(t, Options{})
+	_, want, wantTag := runSweepJob(t, ref, refTS, tinySweep("failover"))
+
+	// A worker that drops dead after its first peer response: requests
+	// after the first get their connections severed.
+	worker := New(Options{})
+	var served atomic.Int32
+	var once sync.Once
+	var flaky *httptest.Server
+	flaky = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > 1 {
+			once.Do(flaky.CloseClientConnections)
+			panic(http.ErrAbortHandler) // sever this connection too
+		}
+		worker.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	coord, coordTS := realServer(t, Options{Peers: []string{flaky.URL}})
+	_, got, gotTag := runSweepJob(t, coord, coordTS, tinySweep("failover"))
+	if string(got) != string(want) || gotTag != wantTag {
+		t.Fatal("failover sweep differs from single-process execution")
+	}
+	// The first point may or may not finish before the connection purge
+	// reaches it, so allow 0 or 1 remote successes — but every one of
+	// the 4 points was attempted, and at least 3 fell back.
+	doc := healthSnapshot(t, coordTS)
+	if len(doc.Peers) != 1 {
+		t.Fatalf("peers %+v", doc.Peers)
+	}
+	p := doc.Peers[0]
+	if p.Dispatched+p.Failed != 4 || p.Failed < 3 {
+		t.Errorf("peer counters %+v, want 4 attempts with >= 3 failures", p)
+	}
+
+	// A fully dead fleet degrades to all-local execution.
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	coord2, coordTS2 := realServer(t, Options{Peers: []string{dead.URL}})
+	_, got2, _ := runSweepJob(t, coord2, coordTS2, tinySweep("failover"))
+	if string(got2) != string(want) {
+		t.Fatal("dead-fleet sweep differs from single-process execution")
+	}
+}
+
+// TestPeerTraceGrid: trace-grid points dispatch through the peer API
+// with the same byte-identity guarantee as sweeps.
+func TestPeerTraceGrid(t *testing.T) {
+	runGrid := func(s *Server, ts *httptest.Server) (string, string) {
+		t.Helper()
+		code, _, raw := post(t, ts.URL+"/v1/traces", tinyTraceGrid("peer-grid"))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", code, raw)
+		}
+		var job jobDoc
+		if err := json.Unmarshal(raw, &job); err != nil {
+			t.Fatal(err)
+		}
+		if st := await(t, s, job.ID); st != StatusDone {
+			t.Fatalf("status %s", st)
+		}
+		code, hdr, body := get(t, ts.URL+"/v1/traces/"+job.ID, nil)
+		if code != http.StatusOK {
+			t.Fatalf("result: %d %s", code, body)
+		}
+		return string(body), hdr.Get("ETag")
+	}
+
+	ref, refTS := realServer(t, Options{})
+	_, w1 := realServer(t, Options{})
+	coord, coordTS := realServer(t, Options{Peers: []string{w1.URL}})
+
+	want, wantTag := runGrid(ref, refTS)
+	got, gotTag := runGrid(coord, coordTS)
+	if got != want || gotTag != wantTag {
+		t.Fatal("peer trace grid differs from single-process execution")
+	}
+	doc := healthSnapshot(t, coordTS)
+	if doc.Peers[0].Dispatched != 4 || doc.Peers[0].Failed != 0 {
+		t.Errorf("peer counters %+v", doc.Peers)
+	}
+}
+
+// TestPeerCoalescing: two coordinators sharding the same grid onto
+// one worker never make it compute a point twice — the work units are
+// content-addressed, so the worker's cache answers duplicates from a
+// flight, memory, or its store.
+func TestPeerCoalescing(t *testing.T) {
+	worker, workerTS := storeServer(t, t.TempDir(), Options{})
+	c1, c1TS := realServer(t, Options{Peers: []string{workerTS.URL}})
+	c2, c2TS := realServer(t, Options{Peers: []string{workerTS.URL}})
+
+	var wg sync.WaitGroup
+	results := make([]string, 2)
+	for i, pair := range []struct {
+		s  *Server
+		ts *httptest.Server
+	}{{c1, c1TS}, {c2, c2TS}} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, body, _ := runSweepJob(t, pair.s, pair.ts, tinySweep("coalesce"))
+			results[i] = string(body)
+		}()
+	}
+	wg.Wait()
+	if results[0] != results[1] {
+		t.Error("coordinators disagree")
+	}
+	stats := worker.cache.stats()
+	if stats.Misses != 4 {
+		t.Errorf("worker computed %d flights for 4 unique points (hits=%d coalesced=%d store=%d)",
+			stats.Misses, stats.Hits, stats.Coalesced, stats.StoreHits)
+	}
+	// Dispatch totals: every point went remote from both coordinators.
+	for _, ts := range []*httptest.Server{c1TS, c2TS} {
+		doc := healthSnapshot(t, ts)
+		if doc.Peers[0].Dispatched != 4 || doc.Peers[0].Failed != 0 {
+			t.Errorf("coordinator counters %+v", doc.Peers)
+		}
+	}
+	// The worker's store holds the per-point blobs for its next boot.
+	worker.cache.persists.Wait()
+	if st := worker.opts.Store.Stats(); st.Puts != 4 {
+		t.Errorf("worker persisted %d blobs, want 4", st.Puts)
+	}
+}
+
+// TestPeerWorkUnitValidation: the worker-side peer endpoints reject
+// malformed work units rather than executing garbage.
+func TestPeerWorkUnitValidation(t *testing.T) {
+	_, ts := realServer(t, Options{})
+	for _, probe := range []struct{ path string; doc any }{
+		{"/v1/peer/scenarios", map[string]any{"nonsense": true}},
+		{"/v1/peer/scenarios", map[string]any{"topology": map[string]any{"kind": "moebius"}, "workload": map[string]any{"pattern": "pairing"}}},
+		{"/v1/peer/traces", map[string]any{"machine": "juqueen", "policy": "warp-drive"}},
+	} {
+		code, _, body := post(t, ts.URL+probe.path, probe.doc)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s %v: status %d: %s", probe.path, probe.doc, code, body)
+		}
+	}
+}

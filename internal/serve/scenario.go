@@ -10,14 +10,17 @@ import (
 
 	"netpart"
 	"netpart/internal/route"
+	"netpart/internal/scenario"
 	"netpart/internal/scenario/sweep"
+	"netpart/internal/store"
 )
 
 // --- healthz ---
 
 // healthDoc is the GET /v1/healthz response: a real readiness probe
 // (the handler answers only once the mux and cache are wired) plus
-// version/build info for fleet debugging.
+// version/build info and cache / store / fleet observability for
+// debugging a deployment at a glance.
 type healthDoc struct {
 	Status      string `json:"status"`
 	Service     string `json:"service"`
@@ -25,9 +28,14 @@ type healthDoc struct {
 	Revision    string `json:"revision,omitempty"`
 	GoVersion   string `json:"go"`
 	Experiments int    `json:"experiments"`
+
+	Cache cacheStats   `json:"cache"`
+	Store *store.Stats `json:"store,omitempty"` // absent without --store-dir
+	Peers []peerDoc    `json:"peers,omitempty"` // absent outside coordinator mode
 }
 
-// handleHealthz serves readiness and build identity.
+// handleHealthz serves readiness, build identity, and the cache /
+// store / per-peer dispatch counters.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	doc := healthDoc{
 		Status:      "ok",
@@ -35,6 +43,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Version:     "(devel)",
 		GoVersion:   runtime.Version(),
 		Experiments: len(netpart.Registry()),
+		Cache:       s.cache.stats(),
+	}
+	if s.opts.Store != nil {
+		st := s.opts.Store.Stats()
+		doc.Store = &st
+	}
+	if s.peers != nil {
+		doc.Peers = s.peers.stats()
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		if info.Main.Version != "" {
@@ -181,7 +197,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSweepCancel cancels a sweep job (idempotent); the underlying
-// execution stops once no other job still wants its result.
+// execution stops once no other job still wants its result. A DELETE
+// of a finished sweep also evicts its completed result from the cache
+// and the persistent store, so re-submitting the grid recomputes.
 func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.lookup(r.PathValue("id"))
 	if !ok || job.Kind != JobSweep {
@@ -189,6 +207,7 @@ func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job.Cancel()
+	s.cache.evict(job.Key)
 	writeJSON(w, http.StatusAccepted, jobDocFor(job))
 }
 
@@ -210,7 +229,22 @@ func (s *Server) runSweep(ctx context.Context, key Key, opts netpart.RunOptions,
 		workers = s.opts.Workers
 	}
 	progress := func(p netpart.Progress) { publish(progressEvent(p)) }
-	runner := netpart.NewRunner(netpart.WithWorkers(workers), netpart.WithProgress(progress))
+	ropts := []netpart.Option{netpart.WithWorkers(workers), netpart.WithProgress(progress)}
+	if s.peers != nil {
+		// Coordinator mode: each point is dispatched to the peer owning
+		// its content hash and recomputed locally on any peer failure.
+		// Local fallback is the plain per-point executor, so a degraded
+		// fleet still yields bytes identical to a single-process run.
+		ropts = append(ropts, netpart.WithScenarioRunner(func(ctx context.Context, spec netpart.ScenarioSpec) (*netpart.ScenarioOutcome, error) {
+			if out, err := s.peers.dispatchScenario(ctx, spec); err == nil {
+				return out, nil
+			} else if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return scenario.Run(ctx, spec)
+		}))
+	}
+	runner := netpart.NewRunner(ropts...)
 	onPoint := func(p netpart.SweepPoint) { publish(streamEvent{name: "point", data: p}) }
 	return runner.RunSweep(ctx, task.grid, onPoint)
 }

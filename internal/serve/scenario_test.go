@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -12,6 +13,7 @@ import (
 
 	"netpart"
 	"netpart/internal/scenario/sweep"
+	"netpart/internal/store"
 )
 
 // tinyScenario is a cheap, real scenario document.
@@ -317,6 +319,68 @@ func TestSweepStampede(t *testing.T) {
 	}
 }
 
+// TestSweepStampedeColdStore: identical concurrent sweep submissions
+// against a cold persistent store singleflight onto one computation
+// AND one disk write — the store tier must not multiply work the
+// cache already coalesced. Run under -race by CI.
+func TestSweepStampedeColdStore(t *testing.T) {
+	fs, err := store.OpenFS(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGate()
+	s := newServer(Options{Store: fs}, g.run)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const n = 12
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := range n {
+		go func() {
+			defer wg.Done()
+			code, _, body := post(t, ts.URL+"/v1/sweeps", tinySweep("cold-store"))
+			if code != http.StatusAccepted {
+				t.Errorf("submit: %d %s", code, body)
+				return
+			}
+			var job jobDoc
+			if err := json.Unmarshal(body, &job); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = job.ID
+		}()
+	}
+	wg.Wait()
+	info := g.next(t)
+	close(info.proceed)
+	for _, id := range ids {
+		if st := await(t, s, id); st != StatusDone {
+			t.Fatalf("job %s status %s", id, st)
+		}
+	}
+	s.cache.persists.Wait()
+	if got := g.calls.Load(); got != 1 {
+		t.Fatalf("%d underlying executions, want 1", got)
+	}
+	st := fs.Stats()
+	if st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("store puts=%d entries=%d, want exactly one persisted blob", st.Puts, st.Entries)
+	}
+	// The persisted blob round-trips: evict memory, replay from disk.
+	job, _ := s.jobs.lookup(ids[0])
+	_, _, hot := get(t, ts.URL+"/v1/sweeps/"+ids[0], nil)
+	s.cache.mu.Lock()
+	delete(s.cache.entries, job.Key)
+	s.cache.mu.Unlock()
+	code, _, cold := get(t, ts.URL+"/v1/archive/"+job.Experiment.ID, nil)
+	if code != http.StatusOK || string(cold) != string(hot) {
+		t.Fatalf("store replay: %d, identical=%v", code, string(cold) == string(hot))
+	}
+}
+
 func TestSweepValidation(t *testing.T) {
 	_, ts := realServer(t, Options{})
 	tooBig := tinySweep("big")
@@ -379,7 +443,7 @@ func TestSweepCancelEndpoint(t *testing.T) {
 func TestDynamicCacheEviction(t *testing.T) {
 	c := newCache(func(_ context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
 		return fakeResult(k), nil
-	}, 0)
+	}, 0, nil)
 	reg := Key{ID: "table1"}
 	if _, err := c.do(context.Background(), reg, netpart.RunOptions{}, nil, nil); err != nil {
 		t.Fatal(err)

@@ -64,13 +64,17 @@ import (
 	"time"
 
 	"netpart"
+	"netpart/internal/store"
 )
 
-// Negotiated content types.
+// Negotiated content types. ctData is internal — the typed Data
+// payload of a dynamic result as JSON, exchanged between peers and
+// persisted to the store, never negotiable by clients.
 const (
 	ctJSON     = "application/json"
 	ctCSV      = "text/csv"
 	ctMarkdown = "text/markdown"
+	ctData     = "application/x-netpart-data+json"
 )
 
 // Options configures a Server. The zero value serves with defaults.
@@ -89,6 +93,24 @@ type Options struct {
 	// Separate per-class bounds are the no-starvation guarantee:
 	// cheap runs never wait on heavy slots.
 	Admission map[netpart.Cost]int
+
+	// Store, when non-nil, is the persistent result tier under the
+	// coalescing cache: dynamic results (scenarios, sweeps, traces —
+	// content-hash identified) are persisted write-behind, warm-start
+	// reads restore them byte-identically, and the /v1/archive
+	// endpoints list and replay them.
+	Store store.Store
+
+	// Peers, when non-empty, puts the server in coordinator mode:
+	// sweep and trace-grid points are sharded across these base URLs
+	// ("http://host:port") by point content hash, dispatched over the
+	// peer API, and recomputed locally when a peer fails or times
+	// out. Output bytes are identical to single-process execution.
+	Peers []string
+
+	// PeerTimeout caps one peer point dispatch. Zero means
+	// DefaultPeerTimeout; negative means none.
+	PeerTimeout time.Duration
 }
 
 // DefaultRunTimeout caps a single experiment run unless overridden.
@@ -110,6 +132,7 @@ type Server struct {
 	sems  map[netpart.Cost]chan struct{}
 	cache *cache
 	jobs  *jobManager
+	peers *peerPool // nil outside coordinator mode
 	mux   *http.ServeMux
 }
 
@@ -143,8 +166,11 @@ func newServer(opts Options, run runFunc) *Server {
 	if timeout < 0 {
 		timeout = 0
 	}
-	s.cache = newCache(run, timeout)
+	s.cache = newCache(run, timeout, opts.Store)
 	s.jobs = newJobManager(s.cache)
+	if len(opts.Peers) > 0 {
+		s.peers = newPeerPool(opts.Peers, opts.PeerTimeout)
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -163,6 +189,10 @@ func newServer(opts Options, run runFunc) *Server {
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/traces/{id}", s.handleTraceCancel)
 	s.mux.HandleFunc("GET /v1/traces/{id}/events", s.handleEvents(JobTrace))
+	s.mux.HandleFunc("GET /v1/archive", s.handleArchiveList)
+	s.mux.HandleFunc("GET /v1/archive/{hash}", s.handleArchiveReplay)
+	s.mux.HandleFunc("POST /v1/peer/scenarios", s.handlePeerScenario)
+	s.mux.HandleFunc("POST /v1/peer/traces", s.handlePeerTrace)
 	return s
 }
 
@@ -171,9 +201,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Shutdown drains the job manager: no new submissions are accepted
 // (503), in-flight runs get until ctx expires to finish, and
-// stragglers are canceled. Callers should stop the http.Server first
-// so no new requests race the drain.
-func (s *Server) Shutdown(ctx context.Context) error { return s.jobs.drain(ctx) }
+// stragglers are canceled. Outstanding write-behind persists are
+// waited for (local disk writes, not bounded by ctx) so a graceful
+// restart warm-starts with every completed result. Callers should
+// stop the http.Server first so no new requests race the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.jobs.drain(ctx)
+	s.cache.persists.Wait()
+	return err
+}
 
 // acquire takes an admission slot for the given cost class, honoring
 // cancellation while queued.

@@ -117,7 +117,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraceCancel cancels a trace job (idempotent); the underlying
-// simulation stops once no other job still wants its result.
+// simulation stops once no other job still wants its result. A DELETE
+// of a finished trace also evicts its completed result from the cache
+// and the persistent store, so re-submitting the spec recomputes.
 func (s *Server) handleTraceCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.lookup(r.PathValue("id"))
 	if !ok || job.Kind != JobTrace {
@@ -125,6 +127,7 @@ func (s *Server) handleTraceCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job.Cancel()
+	s.cache.evict(job.Key)
 	writeJSON(w, http.StatusAccepted, jobDocFor(job))
 }
 
@@ -151,7 +154,21 @@ func (s *Server) runTrace(ctx context.Context, key Key, opts netpart.RunOptions,
 		workers = s.opts.Workers
 	}
 	progress := func(p netpart.Progress) { publish(progressEvent(p)) }
-	runner := netpart.NewRunner(netpart.WithWorkers(workers), netpart.WithProgress(progress))
+	ropts := []netpart.Option{netpart.WithWorkers(workers), netpart.WithProgress(progress)}
+	if s.peers != nil {
+		// Coordinator mode: grid points fan out to the fleet with local
+		// fallback (see runSweep). Single-spec traces always run locally
+		// — they stream per-event frames a remote executor cannot relay.
+		ropts = append(ropts, netpart.WithTraceRunner(func(ctx context.Context, spec netpart.TraceSpec) (*netpart.TraceOutcome, error) {
+			if out, err := s.peers.dispatchTrace(ctx, spec); err == nil {
+				return out, nil
+			} else if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return tracesim.Run(ctx, spec, tracesim.Options{})
+		}))
+	}
+	runner := netpart.NewRunner(ropts...)
 	if task.spec != nil {
 		onEvent := func(ev netpart.TraceEvent) {
 			publish(streamEvent{name: traceEventName(ev.Kind), data: ev})

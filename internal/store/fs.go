@@ -1,0 +1,426 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FS blob file layout. Each blob is one file:
+//
+//	netpart-blob v1 <sha256-hex> <length>\n   ← header
+//	<index-json>\n                            ← ID, meta, accounted bytes
+//	<payload-json>                            ← the encodings
+//
+// The header's length and checksum cover everything after the header
+// line (index line + payload), so a partial write (crash mid-write,
+// truncation) fails the length check and a corrupted byte anywhere
+// fails the checksum. Writes are atomic — a temp file in the same
+// directory, synced, then renamed — so a reader never observes a
+// half-written blob under its final name; damaged files are detected,
+// counted, and silently removed, and the caller recomputes (the ID is
+// a content hash, so recomputation reproduces the same bytes).
+const (
+	fsMagic  = "netpart-blob v1"
+	fsSuffix = ".blob"
+	fsTmp    = ".tmp-"
+)
+
+// fsIndexLine is the second line of a blob file: everything the store
+// needs to list and account the blob without decoding encoding bodies.
+type fsIndexLine struct {
+	ID    string `json:"id"`
+	Bytes int64  `json:"bytes"` // accounted payload size (sum of encoding bodies)
+	Meta  Meta   `json:"meta"`
+}
+
+// fsPayload is the checksummed body of a blob file.
+type fsPayload struct {
+	Encodings []Encoding `json:"encodings"`
+}
+
+// fsEntry is one indexed blob.
+type fsEntry struct {
+	path   string
+	bytes  int64 // accounted size
+	meta   Meta
+	access int64 // logical LRU clock
+}
+
+// FS is the filesystem Store: one checksummed file per blob in a flat
+// directory, with an in-memory index built at Open and maintained by
+// Put/Delete. Access recency is tracked on the logical clock (seeded
+// from file modification times at Open, and persisted best-effort by
+// touching files on Get) so LRU eviction survives restarts.
+type FS struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	index map[string]*fsEntry
+	bytes int64
+	clock int64
+
+	hits, misses, puts, deletes, evictions, corrupt int64
+}
+
+// OpenFS opens (creating if needed) a filesystem store in dir bounded
+// by maxBytes (0 means unbounded). Leftover temp files from crashed
+// writes are removed; blob files with damaged headers or truncated
+// contents are counted as corrupt and deleted, so a store that
+// survived a crash opens clean. Payload checksums are verified lazily
+// on Get, keeping Open proportional to the entry count, not the byte
+// count.
+func OpenFS(dir string, maxBytes int64) (*FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &FS{dir: dir, maxBytes: maxBytes, index: map[string]*fsEntry{}}
+
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	type seed struct {
+		entry *fsEntry
+		id    string
+		mtime time.Time
+	}
+	var seeds []seed
+	for _, de := range names {
+		name := de.Name()
+		path := filepath.Join(dir, name)
+		if strings.HasPrefix(name, fsTmp) {
+			os.Remove(path) // crashed mid-write; the rename never happened
+			continue
+		}
+		if de.IsDir() || !strings.HasSuffix(name, fsSuffix) {
+			continue
+		}
+		idx, ok := s.verifyHeader(path)
+		if !ok {
+			s.corrupt++
+			os.Remove(path)
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		seeds = append(seeds, seed{
+			entry: &fsEntry{path: path, bytes: idx.Bytes, meta: idx.Meta},
+			id:    idx.ID,
+			mtime: fi.ModTime(),
+		})
+	}
+	// Seed the LRU clock from modification times: oldest-touched files
+	// get the lowest ticks, so eviction order is preserved across
+	// restarts.
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].mtime.Before(seeds[j].mtime) })
+	for _, sd := range seeds {
+		s.clock++
+		sd.entry.access = s.clock
+		s.index[sd.id] = sd.entry
+		s.bytes += sd.entry.bytes
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *FS) Dir() string { return s.dir }
+
+// Path returns the file a blob ID maps to (whether or not it exists):
+// the sanitized ID plus a short hash of the raw ID, so distinct IDs
+// never collide on one file name.
+func (s *FS) Path(id string) string {
+	sanitized := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%08x%s", sanitized, h.Sum32(), fsSuffix))
+}
+
+// parseHeader parses a blob file's header line into the payload
+// checksum and length.
+func parseHeader(line string) (sum string, length int64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0]+" "+fields[1] != fsMagic || len(fields[2]) != sha256.Size*2 {
+		return "", 0, false
+	}
+	length, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil || length < 0 {
+		return "", 0, false
+	}
+	return fields[2], length, true
+}
+
+// verifyHeader reads and validates a blob file's header and index
+// lines against the file's actual size (catching truncation and
+// header damage without reading the payload). It returns the parsed
+// index line.
+func (s *FS) verifyHeader(path string) (fsIndexLine, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return fsIndexLine{}, false
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return fsIndexLine{}, false
+	}
+	_, length, ok := parseHeader(header)
+	if !ok {
+		return fsIndexLine{}, false
+	}
+	fi, err := f.Stat()
+	if err != nil || fi.Size() != int64(len(header))+length {
+		return fsIndexLine{}, false
+	}
+	indexLine, err := br.ReadString('\n')
+	if err != nil {
+		return fsIndexLine{}, false
+	}
+	var idx fsIndexLine
+	if err := json.Unmarshal([]byte(indexLine), &idx); err != nil || idx.ID == "" {
+		return fsIndexLine{}, false
+	}
+	return idx, true
+}
+
+// Get implements Store. The payload checksum is verified on every
+// read; a blob whose bytes rotted since Open is dropped and reported
+// as a miss.
+func (s *FS) Get(id string) (*Blob, bool) {
+	s.mu.Lock()
+	e, ok := s.index[id]
+	if !ok {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	path := e.path
+	s.mu.Unlock()
+
+	blob, ok := s.readBlob(path, id)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !ok {
+		// Damaged on disk: drop it so the recomputed result can land.
+		if cur, present := s.index[id]; present && cur.path == path {
+			s.bytes -= cur.bytes
+			delete(s.index, id)
+		}
+		s.corrupt++
+		s.misses++
+		os.Remove(path)
+		return nil, false
+	}
+	if cur, present := s.index[id]; present {
+		s.clock++
+		cur.access = s.clock
+	}
+	s.hits++
+	// Best-effort recency persistence: the mtime seeds the LRU clock
+	// on the next Open.
+	now := time.Now()
+	os.Chtimes(path, now, now) //nolint:errcheck
+	return blob, true
+}
+
+// readBlob reads and fully verifies one blob file.
+func (s *FS) readBlob(path, id string) (*Blob, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	header, rest := string(raw[:nl+1]), raw[nl+1:]
+	sum, length, ok := parseHeader(header)
+	if !ok || int64(len(rest)) != length {
+		return nil, false
+	}
+	digest := sha256.Sum256(rest)
+	if hex.EncodeToString(digest[:]) != sum {
+		return nil, false
+	}
+	nl = bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	var idx fsIndexLine
+	if err := json.Unmarshal(rest[:nl], &idx); err != nil || idx.ID != id {
+		return nil, false
+	}
+	var payload fsPayload
+	if err := json.Unmarshal(rest[nl+1:], &payload); err != nil {
+		return nil, false
+	}
+	return &Blob{ID: idx.ID, Meta: idx.Meta, Encodings: payload.Encodings}, true
+}
+
+// Put implements Store: marshal, write to a temp file in the store
+// directory, sync, rename. The rename is the commit point — a crash
+// at any earlier moment leaves only a temp file Open will sweep away.
+func (s *FS) Put(blob *Blob) error {
+	if blob == nil || blob.ID == "" {
+		return fmt.Errorf("store: put without an ID")
+	}
+	size := blob.Size()
+	s.mu.Lock()
+	if _, ok := s.index[blob.ID]; ok {
+		s.mu.Unlock()
+		return nil // content-addressed: already present means already identical
+	}
+	if s.maxBytes > 0 && size > s.maxBytes {
+		s.mu.Unlock()
+		return fmt.Errorf("store: blob %s (%d bytes) exceeds the %d-byte budget", blob.ID, size, s.maxBytes)
+	}
+	s.mu.Unlock()
+
+	idxLine, err := json.Marshal(fsIndexLine{ID: blob.ID, Bytes: size, Meta: blob.Meta})
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", blob.ID, err)
+	}
+	payload, err := json.Marshal(fsPayload{Encodings: blob.Encodings})
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", blob.ID, err)
+	}
+	body := make([]byte, 0, len(idxLine)+1+len(payload))
+	body = append(body, idxLine...)
+	body = append(body, '\n')
+	body = append(body, payload...)
+	digest := sha256.Sum256(body)
+	header := fmt.Sprintf("%s %s %d\n", fsMagic, hex.EncodeToString(digest[:]), len(body))
+
+	tmp, err := os.CreateTemp(s.dir, fsTmp+"*")
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", blob.ID, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.WriteString(header); err == nil {
+		_, err = tmp.Write(body)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", blob.ID, err)
+	}
+	path := s.Path(blob.ID)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: commit %s: %w", blob.ID, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[blob.ID]; ok {
+		return nil // concurrent identical Put won the race; same bytes either way
+	}
+	for s.maxBytes > 0 && s.bytes+size > s.maxBytes {
+		s.evictOldestLocked()
+	}
+	s.clock++
+	s.index[blob.ID] = &fsEntry{path: path, bytes: size, meta: blob.Meta, access: s.clock}
+	s.bytes += size
+	s.puts++
+	return nil
+}
+
+// evictOldestLocked removes the least-recently-accessed blob and its
+// file. Callers hold s.mu and guarantee the index is non-empty via
+// the byte budget.
+func (s *FS) evictOldestLocked() {
+	var victim string
+	var oldest int64
+	for id, e := range s.index {
+		if victim == "" || e.access < oldest {
+			victim, oldest = id, e.access
+		}
+	}
+	if victim == "" {
+		return
+	}
+	e := s.index[victim]
+	s.bytes -= e.bytes
+	delete(s.index, victim)
+	os.Remove(e.path)
+	s.evictions++
+}
+
+// Delete implements Store.
+func (s *FS) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[id]
+	if !ok {
+		return nil
+	}
+	s.bytes -= e.bytes
+	delete(s.index, id)
+	s.deletes++
+	if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete %s: %w", id, err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *FS) List(after string, limit int) []Info {
+	s.mu.Lock()
+	infos := make([]Info, 0, len(s.index))
+	for id, e := range s.index {
+		if id <= after {
+			continue
+		}
+		infos = append(infos, Info{ID: id, Bytes: e.bytes, Meta: e.meta})
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	if limit > 0 && len(infos) > limit {
+		infos = infos[:limit]
+	}
+	return infos
+}
+
+// Stats implements Store.
+func (s *FS) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Backend:   "fs",
+		Entries:   len(s.index),
+		Bytes:     s.bytes,
+		MaxBytes:  s.maxBytes,
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Puts:      s.puts,
+		Deletes:   s.deletes,
+		Evictions: s.evictions,
+		Corrupt:   s.corrupt,
+	}
+}

@@ -1,0 +1,249 @@
+// Package store is the persistent result tier under the serving
+// layer's coalescing cache: a pluggable content-addressed blob store
+// for finished experiment results.
+//
+// The store trades on the same property the cache does: dynamic
+// results are identified by content hashes of their normalized
+// definitions ("scenario:<hash>", "sweep:<hash>", "trace:<hash>",
+// "tracegrid:<hash>"), so a stored blob is immutable by construction
+// — an ID either has bytes or it doesn't, and two writers racing on
+// one ID are writing identical bytes. That makes the persistence
+// contract nearly correctness-free: no versioning, no invalidation
+// protocol, no coherence traffic between a fleet of daemons sharing
+// results.
+//
+// A Blob carries everything the serving layer needs to replay a
+// result without recomputing or re-encoding it: every rendered
+// encoding (JSON, CSV, Markdown, plus the internal typed-data
+// encoding peers exchange) with its body bytes and strong ETag, and
+// the experiment descriptor metadata. Round-tripping is byte-exact:
+// the bytes and tags read back are the bytes and tags written.
+//
+// Two backends implement Store: Memory (tests, ephemeral daemons)
+// and FS (a directory of checksummed blob files with atomic
+// tmp+rename writes, corrupt/partial-blob tolerance, and
+// LRU-by-access eviction under a byte budget). Both are safe for
+// concurrent use.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Meta is the experiment descriptor persisted alongside a result's
+// encodings, enough to list an archive entry without decoding bodies.
+type Meta struct {
+	Experiment string `json:"experiment"`      // experiment / dynamic ID
+	Title      string `json:"title"`
+	Kind       string `json:"kind"`
+	Cost       string `json:"cost"`
+	FullRounds bool   `json:"full_rounds,omitempty"`
+}
+
+// Encoding is one rendered representation of a result: the negotiated
+// content type, the exact body bytes, and the strong ETag over them.
+type Encoding struct {
+	ContentType string `json:"content_type"`
+	ETag        string `json:"etag"`
+	Body        []byte `json:"body"`
+}
+
+// Blob is one stored result: its content-hash ID, descriptor
+// metadata, and every rendered encoding.
+type Blob struct {
+	ID        string     `json:"id"`
+	Meta      Meta       `json:"meta"`
+	Encodings []Encoding `json:"encodings"`
+}
+
+// Size returns the blob's accounted payload size: the sum of its
+// encoding bodies. Header and metadata overhead is deliberately
+// excluded so the byte budget is comparable across backends.
+func (b *Blob) Size() int64 {
+	var n int64
+	for _, e := range b.Encodings {
+		n += int64(len(e.Body))
+	}
+	return n
+}
+
+// Info is one archive listing entry.
+type Info struct {
+	ID    string `json:"id"`
+	Bytes int64  `json:"bytes"`
+	Meta  Meta   `json:"meta"`
+}
+
+// Stats is a point-in-time observability snapshot of a store.
+type Stats struct {
+	Backend   string `json:"backend"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes,omitempty"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Puts      int64  `json:"puts"`
+	Deletes   int64  `json:"deletes"`
+	Evictions int64  `json:"evictions"`
+	// Corrupt counts blobs dropped because their bytes did not
+	// survive: truncated files, checksum mismatches, unparseable
+	// headers. Always zero for the memory backend.
+	Corrupt int64 `json:"corrupt,omitempty"`
+}
+
+// Store is a content-addressed result store. Implementations are safe
+// for concurrent use. Get reports a miss — never an error — for IDs
+// whose bytes are absent, damaged, or evicted: the caller's recovery
+// is always the same (recompute), so the store never makes it handle
+// failure modes separately.
+type Store interface {
+	// Get returns the blob for id, or ok=false on any kind of miss.
+	// The returned blob must not be mutated.
+	Get(id string) (b *Blob, ok bool)
+	// Put stores the blob under blob.ID, evicting least-recently-used
+	// entries if a byte budget requires it. Storing an ID that is
+	// already present is a no-op (content-addressed: same ID, same
+	// bytes).
+	Put(blob *Blob) error
+	// Delete removes the blob for id (no-op when absent).
+	Delete(id string) error
+	// List returns up to limit entries with IDs strictly greater than
+	// after, in ascending ID order — a stable pagination cursor.
+	// limit <= 0 means no limit.
+	List(after string, limit int) []Info
+	// Stats returns an observability snapshot.
+	Stats() Stats
+}
+
+// Memory is the in-memory Store: the FS backend's semantics (byte
+// budget, LRU eviction, content-addressed immutability) without the
+// files. Useful in tests and for ephemeral daemons that want archive
+// endpoints without persistence.
+type Memory struct {
+	maxBytes int64
+
+	mu    sync.Mutex
+	blobs map[string]*memEntry
+	bytes int64
+	clock int64 // logical access clock for LRU
+
+	hits, misses, puts, deletes, evictions int64
+}
+
+type memEntry struct {
+	blob   *Blob
+	size   int64
+	access int64
+}
+
+// NewMemory returns an in-memory store bounded by maxBytes (0 means
+// unbounded).
+func NewMemory(maxBytes int64) *Memory {
+	return &Memory{maxBytes: maxBytes, blobs: map[string]*memEntry{}}
+}
+
+// Get implements Store.
+func (m *Memory) Get(id string) (*Blob, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.blobs[id]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.clock++
+	e.access = m.clock
+	m.hits++
+	return e.blob, true
+}
+
+// Put implements Store.
+func (m *Memory) Put(blob *Blob) error {
+	if blob == nil || blob.ID == "" {
+		return fmt.Errorf("store: put without an ID")
+	}
+	size := blob.Size()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[blob.ID]; ok {
+		return nil // content-addressed: already present means already identical
+	}
+	if m.maxBytes > 0 && size > m.maxBytes {
+		return fmt.Errorf("store: blob %s (%d bytes) exceeds the %d-byte budget", blob.ID, size, m.maxBytes)
+	}
+	for m.maxBytes > 0 && m.bytes+size > m.maxBytes {
+		m.evictOldestLocked()
+	}
+	m.clock++
+	m.blobs[blob.ID] = &memEntry{blob: blob, size: size, access: m.clock}
+	m.bytes += size
+	m.puts++
+	return nil
+}
+
+// evictOldestLocked drops the least-recently-accessed entry. Callers
+// hold m.mu and guarantee the map is non-empty via the byte budget.
+func (m *Memory) evictOldestLocked() {
+	var victim string
+	var oldest int64
+	for id, e := range m.blobs {
+		if victim == "" || e.access < oldest {
+			victim, oldest = id, e.access
+		}
+	}
+	if victim == "" {
+		return
+	}
+	m.bytes -= m.blobs[victim].size
+	delete(m.blobs, victim)
+	m.evictions++
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.blobs[id]; ok {
+		m.bytes -= e.size
+		delete(m.blobs, id)
+		m.deletes++
+	}
+	return nil
+}
+
+// List implements Store.
+func (m *Memory) List(after string, limit int) []Info {
+	m.mu.Lock()
+	infos := make([]Info, 0, len(m.blobs))
+	for id, e := range m.blobs {
+		if id <= after {
+			continue
+		}
+		infos = append(infos, Info{ID: id, Bytes: e.size, Meta: e.blob.Meta})
+	}
+	m.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	if limit > 0 && len(infos) > limit {
+		infos = infos[:limit]
+	}
+	return infos
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Backend:   "memory",
+		Entries:   len(m.blobs),
+		Bytes:     m.bytes,
+		MaxBytes:  m.maxBytes,
+		Hits:      m.hits,
+		Misses:    m.misses,
+		Puts:      m.puts,
+		Deletes:   m.deletes,
+		Evictions: m.evictions,
+	}
+}

@@ -54,6 +54,25 @@ func withMachines(fn func(string) (*Machine, error)) Option {
 	return func(r *Runner) { r.machines = fn }
 }
 
+// WithScenarioRunner substitutes the per-point scenario executor used
+// by RunSweep — the seam a distributed frontend uses to dispatch grid
+// points to worker daemons (and fall back to local execution on peer
+// failure). The substitute must be byte-equivalent to the local
+// executor for the same spec, including error strings, or sweep
+// results stop being deterministic across deployments. Single-spec
+// RunScenario always runs locally.
+func WithScenarioRunner(fn func(ctx context.Context, spec ScenarioSpec) (*ScenarioOutcome, error)) Option {
+	return func(r *Runner) { r.scenarioRun = fn }
+}
+
+// WithTraceRunner substitutes the per-point trace executor used by
+// RunTraceGrid, under the same byte-equivalence contract as
+// WithScenarioRunner. Single-spec RunTrace always runs locally (it
+// streams per-event frames, which a remote executor cannot relay).
+func WithTraceRunner(fn func(ctx context.Context, spec TraceSpec) (*TraceOutcome, error)) Option {
+	return func(r *Runner) { r.traceRun = fn }
+}
+
 // Runner executes registered experiments with per-call options. The
 // zero value runs with defaults; construct with NewRunner to set
 // options. A Runner is configured once at construction and safe for
@@ -61,10 +80,12 @@ func withMachines(fn func(string) (*Machine, error)) Option {
 // state, so two Runners with different worker counts can run side by
 // side.
 type Runner struct {
-	workers    int
-	fullRounds bool
-	progress   func(Progress)
-	machines   func(string) (*Machine, error)
+	workers     int
+	fullRounds  bool
+	progress    func(Progress)
+	machines    func(string) (*Machine, error)
+	scenarioRun func(ctx context.Context, spec ScenarioSpec) (*ScenarioOutcome, error)
+	traceRun    func(ctx context.Context, spec TraceSpec) (*TraceOutcome, error)
 
 	// progressMu serializes progress callbacks across concurrent Runs
 	// of this Runner (within one Run the driver already serializes).

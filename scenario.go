@@ -135,7 +135,7 @@ func (r *Runner) RunSweep(ctx context.Context, grid SweepGrid, onPoint func(Swee
 		Cost:  Cost(sweep.Cost(points)),
 	}
 	token := fmt.Sprintf("%s#%d", exp.ID, runSeq.Add(1))
-	opts := sweep.Options{Workers: r.workers, OnPoint: onPoint}
+	opts := sweep.Options{Workers: r.workers, OnPoint: onPoint, RunPoint: r.scenarioRun}
 	if r.progress != nil {
 		fn := r.progress
 		opts.OnProgress = func(done, total int) {

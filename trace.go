@@ -120,7 +120,7 @@ func (r *Runner) RunTraceGrid(ctx context.Context, grid TraceGrid, onPoint func(
 		Cost:  Cost(tracesim.GridCost(points)),
 	}
 	token := fmt.Sprintf("%s#%d", exp.ID, runSeq.Add(1))
-	opts := tracesim.GridOptions{Workers: r.workers, OnPoint: onPoint}
+	opts := tracesim.GridOptions{Workers: r.workers, OnPoint: onPoint, RunPoint: r.traceRun}
 	if r.progress != nil {
 		fn := r.progress
 		opts.OnProgress = func(done, total int) {
