@@ -1,0 +1,49 @@
+package netpart
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// Cluster-session benchmarks: the cost of streaming a workload into a
+// live session one batch at a time — the serving unit of
+// POST /v1/cluster/{id}/jobs. cmd/benchsnap records these to
+// BENCH_sweep.json alongside the batch trace-simulator numbers; the
+// spread against BenchmarkTraceSim200 is the overhead of incremental
+// submission over a one-shot replay of the same schedule.
+
+// BenchmarkClusterSubmit streams 200 jobs into a fresh session in
+// 20-job batches under the contention-aware policy, then closes it.
+func BenchmarkClusterSubmit(b *testing.B) {
+	runner := NewRunner()
+	sizes := []int{1, 2, 4, 8}
+	jobs := make([]ClusterJob, 200)
+	for i := range jobs {
+		jobs[i] = ClusterJob{
+			ID:         fmt.Sprintf("job-%03d", i),
+			Midplanes:  sizes[i%len(sizes)],
+			ArrivalSec: float64(i) * 15,
+			RuntimeSec: 300 + float64(i%7)*60,
+			Pattern:    "pairing",
+		}
+	}
+	spec := ClusterSpec{Machine: "juqueen", Policy: "contention-aware", Backfill: true}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := runner.OpenCluster(spec, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for at := 0; at < len(jobs); at += 20 {
+			if _, err := sess.Submit(ctx, jobs[at:at+20]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sess.Close(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package netpart
+
+import (
+	"netpart/internal/sched/cluster"
+)
+
+// Live cluster sessions: the incremental form of a trace simulation.
+// Where RunTrace replays a complete trace and returns, OpenCluster
+// starts a long-running simulated cluster that accepts an open-ended
+// stream of job submissions, streams engine events as they happen,
+// answers metric snapshots mid-flight, and reduces to the same
+// tracesim-shaped Metrics on Close — replaying a complete trace
+// through a session yields metrics byte-identical to RunTrace. The
+// serving layer exposes sessions as POST /v1/cluster resources.
+
+// ClusterSpec declares one session: machine, placement policy,
+// backfill, optional failure model and the virtual clock mode; see
+// the internal/sched/cluster package documentation.
+type ClusterSpec = cluster.Spec
+
+// ClusterJob is one idempotent job submission (client-supplied ID).
+type ClusterJob = cluster.SubmitJob
+
+// ClusterEvent is one engine occurrence (submit, place, contention,
+// start, finish, kill, outage, heal), streamed in simulation-time
+// order and annotated with the client job ID.
+type ClusterEvent = cluster.Event
+
+// ClusterReceipt summarizes one submission batch.
+type ClusterReceipt = cluster.Receipt
+
+// ClusterSnapshot is a session's mid-flight state summary.
+type ClusterSnapshot = cluster.Snapshot
+
+// ClusterMetrics is the final session summary, shaped exactly like a
+// batch trace simulation's metrics.
+type ClusterMetrics = cluster.Metrics
+
+// ClusterSession is a live session handle: Submit, Snapshot, Close.
+// Safe for concurrent use.
+type ClusterSession = cluster.Session
+
+// OpenCluster validates the spec and opens a session at virtual time
+// zero. onEvent (optional) receives every engine event; it runs on
+// the goroutine driving the simulation (a submitting caller or a
+// real-time session's clock), so it must not block or call back into
+// the session.
+func (r *Runner) OpenCluster(spec ClusterSpec, onEvent func(ClusterEvent)) (*ClusterSession, error) {
+	return cluster.Open(spec, cluster.SessionOptions{OnEvent: onEvent})
+}

@@ -11,6 +11,7 @@
 //	         [-cheap 16] [-moderate 4] [-heavy 1] [-grace 30s]
 //	         [-store-dir DIR] [-store-max-bytes N]
 //	         [-peers http://h1:8080,http://h2:8080] [-peer-timeout 2m]
+//	         [-cluster-sessions 32] [-cluster-idle 10m]
 //
 // With -store-dir, finished dynamic results (scenarios, sweeps,
 // traces) persist to a content-addressed blob store in DIR: the next
@@ -22,8 +23,17 @@
 // With -peers, the daemon is a coordinator: sweep and trace-grid
 // points fan out to the listed worker netpartds (sharded by point
 // content hash, coalesced on each worker, recomputed locally when a
-// peer fails or exceeds -peer-timeout). Output bytes are identical to
-// single-process execution regardless of fleet health.
+// peer fails or exceeds -peer-timeout). A failed peer is marked
+// unhealthy and skipped until a background /v1/healthz probe restores
+// it. Output bytes are identical to single-process execution
+// regardless of fleet health.
+//
+// POST /v1/cluster opens a live simulated-cluster session: jobs
+// stream in over POST /v1/cluster/{id}/jobs (idempotent by client job
+// ID), GET snapshots it, GET .../events streams engine events as SSE,
+// and DELETE drains the remaining schedule and returns the final
+// metrics. -cluster-sessions bounds how many sessions are open at
+// once; sessions untouched for -cluster-idle are reaped (0 disables).
 //
 // The daemon logs the bound address on startup ("listening on ..."),
 // so -addr 127.0.0.1:0 works for smoke tests that need a free port.
@@ -55,6 +65,12 @@
 //	                "pattern": "pairing", "pattern_fraction": 0.5}}'
 //	curl -N localhost:8080/v1/traces/trace-000001/events
 //	curl -s localhost:8080/v1/traces/trace-000001?format=markdown
+//	curl -s -X POST localhost:8080/v1/cluster -d '{
+//	  "machine": "juqueen", "policy": "contention-aware", "backfill": true}'
+//	curl -s -X POST localhost:8080/v1/cluster/cluster-000001/jobs -d '{
+//	  "jobs": [{"id": "job-a", "midplanes": 8, "runtime_sec": 600, "pattern": "pairing"}]}'
+//	curl -N localhost:8080/v1/cluster/cluster-000001/events
+//	curl -s -X DELETE localhost:8080/v1/cluster/cluster-000001
 package main
 
 import (
@@ -88,6 +104,8 @@ func main() {
 	storeMax := flag.Int64("store-max-bytes", 0, "store byte budget, LRU-evicted past it (0 = unbounded)")
 	peers := flag.String("peers", "", "comma-separated worker base URLs; makes this daemon a coordinator")
 	peerTimeout := flag.Duration("peer-timeout", serve.DefaultPeerTimeout, "per-point peer dispatch deadline (0 disables)")
+	clusterSessions := flag.Int("cluster-sessions", serve.DefaultClusterSessions, "max concurrently open cluster sessions")
+	clusterIdle := flag.Duration("cluster-idle", serve.DefaultClusterIdleTimeout, "reap cluster sessions untouched this long (0 disables)")
 	flag.Parse()
 	log.SetPrefix("netpartd: ")
 	log.SetFlags(log.LstdFlags)
@@ -96,6 +114,9 @@ func main() {
 	}
 	if *peerTimeout == 0 {
 		*peerTimeout = -1
+	}
+	if *clusterIdle == 0 {
+		*clusterIdle = -1 // flag 0 disables reaping; Options 0 means default
 	}
 
 	opts := serve.Options{
@@ -106,7 +127,9 @@ func main() {
 			netpart.CostModerate: *moderate,
 			netpart.CostHeavy:    *heavy,
 		},
-		PeerTimeout: *peerTimeout,
+		PeerTimeout:        *peerTimeout,
+		ClusterSessions:    *clusterSessions,
+		ClusterIdleTimeout: *clusterIdle,
 	}
 	if *storeDir != "" {
 		fs, err := store.OpenFS(*storeDir, *storeMax)

@@ -1,0 +1,208 @@
+// Cluster-client: the consumer's view of the live-cluster session
+// API. Where trace-client submits a complete trace and waits,
+// cluster-client opens a long-running simulated cluster session on a
+// netpartd, streams jobs into it batch by batch (with idempotent
+// client-supplied job IDs), tails the Server-Sent-Events stream as the
+// engine places, starts and finishes them, polls a metrics snapshot
+// mid-flight, and finally deletes the session to drain the remaining
+// schedule and print the tracesim-shaped final metrics.
+//
+// Start the daemon, then run the client:
+//
+//	go run ./cmd/netpartd -addr localhost:8080
+//	go run ./examples/cluster-client -addr localhost:8080
+//
+// By default the session free-runs: the virtual clock jumps to each
+// submitted arrival and the schedule drains instantly on delete. Pass
+// -time-scale 60 to tie the virtual clock to wall time (60 simulated
+// seconds per real second) and watch events arrive live instead.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "netpartd address")
+	policy := flag.String("policy", "contention-aware", "placement policy")
+	timeScale := flag.Float64("time-scale", 0, "virtual seconds per wall second (0 = free-running)")
+	batches := flag.Int("batches", 4, "job batches to stream in")
+	flag.Parse()
+	log.SetFlags(0)
+	base := "http://" + *addr
+
+	// Open the session.
+	spec := map[string]any{
+		"name":     "cluster-client demo",
+		"machine":  "juqueen",
+		"policy":   *policy,
+		"backfill": true,
+	}
+	if *timeScale > 0 {
+		spec["time_scale"] = *timeScale
+	}
+	var session struct {
+		ID    string            `json:"id"`
+		Title string            `json:"title"`
+		Links map[string]string `json:"links"`
+	}
+	postJSON(base+"/v1/cluster", spec, &session)
+	log.Printf("opened %s: %s", session.ID, session.Title)
+
+	// Tail the event stream in the background.
+	events := make(chan string, 256)
+	go tailEvents(base+session.Links["events"], events)
+
+	// Stream job batches in. IDs are client-supplied, so a retried
+	// batch after a lost response would count as duplicates, never
+	// double-schedule.
+	sizes := []int{1, 2, 4, 8, 16}
+	job := 0
+	for b := 0; b < *batches; b++ {
+		jobs := make([]map[string]any, 0, 6)
+		for i := 0; i < 6; i++ {
+			jobs = append(jobs, map[string]any{
+				"id":          fmt.Sprintf("demo-%03d", job),
+				"midplanes":   sizes[job%len(sizes)],
+				"arrival_sec": float64(job) * 120,
+				"runtime_sec": 600 + float64(job%5)*120,
+				"pattern":     "pairing",
+			})
+			job++
+		}
+		var rec struct {
+			Accepted  int     `json:"accepted"`
+			Submitted int     `json:"submitted"`
+			TimeSec   float64 `json:"time_sec"`
+		}
+		postJSON(base+session.Links["jobs"], map[string]any{"jobs": jobs}, &rec)
+		log.Printf("batch %d: accepted %d (lifetime %d), virtual clock %.0fs",
+			b+1, rec.Accepted, rec.Submitted, rec.TimeSec)
+		drain(events)
+	}
+
+	// A mid-flight snapshot: the session keeps state between calls.
+	var snap struct {
+		Snapshot struct {
+			TimeSec  float64 `json:"time_sec"`
+			Running  int     `json:"running"`
+			Queued   int     `json:"queued"`
+			Finished int     `json:"finished"`
+		} `json:"snapshot"`
+	}
+	getJSON(base+session.Links["self"], &snap)
+	log.Printf("snapshot: t=%.0fs, %d running / %d queued / %d finished",
+		snap.Snapshot.TimeSec, snap.Snapshot.Running, snap.Snapshot.Queued, snap.Snapshot.Finished)
+
+	// Delete the session: the remaining schedule drains and the final
+	// tracesim-shaped metrics come back.
+	req, err := http.NewRequest(http.MethodDelete, base+session.Links["self"], nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	final, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("delete: %s: %s", resp.Status, final)
+	}
+	drain(events)
+	fmt.Println(string(final))
+}
+
+// tailEvents prints the session's SSE frames as they arrive.
+func tailEvents(url string, out chan<- string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Printf("events: %v", err)
+		close(out)
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			Kind    string  `json:"kind"`
+			JobID   string  `json:"job_id"`
+			TimeSec float64 `json:"time_sec"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil || ev.Kind == "" {
+			continue
+		}
+		out <- fmt.Sprintf("  t=%8.0fs  %-10s %s", ev.TimeSec, ev.Kind, ev.JobID)
+	}
+	close(out)
+}
+
+// drain prints whatever events have arrived so far without blocking.
+func drain(events <-chan string) {
+	for {
+		select {
+		case line, ok := <-events:
+			if !ok {
+				return
+			}
+			log.Print(line)
+		default:
+			return
+		}
+	}
+}
+
+func postJSON(url string, doc, out any) {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		log.Fatalf("POST %s: %v in %s", url, err, raw)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		log.Fatalf("GET %s: %v in %s", url, err, raw)
+	}
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"netpart/internal/bgq"
+	"netpart/internal/model"
+	"netpart/internal/netsim"
+	"netpart/internal/route"
+	"netpart/internal/scenario"
+	"netpart/internal/sched"
+	"netpart/internal/torus"
+	"netpart/internal/workload"
+)
+
+// patternSecMemo caches pattern round times by "geometry|pattern".
+// The value is machine-independent and a deterministic function of
+// the key, so one process-wide cache (mirroring iso.Bisection's
+// memoized cuboid search) serves every simulation, grid point,
+// serving flight and cluster session without recomputing the
+// flow-level netsim rounds.
+var patternSecMemo sync.Map
+
+// scorer computes placement-time contention dilation: the max-min
+// fair round time of a job's communication pattern on its placed
+// geometry, relative to the best geometry of the same size.
+type scorer struct {
+	m *bgq.Machine
+}
+
+func newScorer(m *bgq.Machine) *scorer {
+	return &scorer{m: m}
+}
+
+// patternSec returns the flow-level simulated time of one pattern
+// round on the midplane-level torus of the geometry (0 when the
+// geometry has no links, i.e. a single midplane).
+func (sc *scorer) patternSec(geom torus.Shape, pattern string) (float64, error) {
+	key := geom.String() + "|" + pattern
+	if v, ok := patternSecMemo.Load(key); ok {
+		return v.(float64), nil
+	}
+	// Length-1 dimensions carry no links; drop them so the torus is
+	// the real communication graph of the cuboid.
+	dims := make([]int, 0, len(geom))
+	for _, d := range geom {
+		if d > 1 {
+			dims = append(dims, d)
+		}
+	}
+	if len(dims) == 0 {
+		patternSecMemo.Store(key, 0.0)
+		return 0, nil
+	}
+	tor, err := torus.New(dims...)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: geometry %s: %w", geom, err)
+	}
+	r := route.NewRouter(tor)
+	var demands []route.Demand
+	switch pattern {
+	case PatternPairing:
+		demands, err = workload.BisectionPairing(r, scenario.DefaultBytes)
+	case PatternAllToAll:
+		demands, err = workload.AllToAll(tor, scenario.DefaultBytes)
+	case PatternNeighbor:
+		demands, err = workload.NearestNeighbor(tor, scenario.DefaultBytes)
+	default:
+		err = fmt.Errorf("cluster: unknown pattern %q", pattern)
+	}
+	if err != nil {
+		return 0, err
+	}
+	caps := make([]float64, r.NumLinks())
+	for i := range caps {
+		caps[i] = model.LinkBytesPerSec
+	}
+	sim := netsim.NewWithCapacities(caps)
+	started := false
+	for _, d := range demands {
+		if path := r.Route(d.Src, d.Dst, nil); len(path) > 0 {
+			sim.StartFlow(path, d.Bytes, 0)
+			started = true
+		}
+	}
+	var sec float64
+	if started {
+		sec = sim.RunUntilIdle()
+	}
+	patternSecMemo.Store(key, sec)
+	return sec, nil
+}
+
+// dilation scores one placement: patterned jobs by the flow-level
+// pattern round time relative to the best geometry of the size,
+// contention-bound jobs without a pattern by the bisection-bandwidth
+// ratio, everything else 1.
+func (sc *scorer) dilation(j Job, pl sched.Placement) (float64, error) {
+	if j.Pattern == "" {
+		if !j.ContentionBound {
+			return 1, nil
+		}
+		best, ok := sc.m.Best(j.Midplanes)
+		if !ok {
+			return 1, nil
+		}
+		return float64(best.BisectionBW()) / float64(pl.Partition().BisectionBW()), nil
+	}
+	best, ok := sc.m.Best(j.Midplanes)
+	if !ok {
+		return 1, nil
+	}
+	bestSec, err := sc.patternSec(best.Geometry(), j.Pattern)
+	if err != nil {
+		return 0, err
+	}
+	placedSec, err := sc.patternSec(pl.Lens, j.Pattern)
+	if err != nil {
+		return 0, err
+	}
+	if bestSec <= 0 || placedSec <= bestSec {
+		// The placed geometry is no worse than the bisection-best one
+		// for this pattern; base runtime already covers it.
+		return 1, nil
+	}
+	return placedSec / bestSec, nil
+}

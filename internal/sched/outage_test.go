@@ -386,7 +386,7 @@ func TestOutageDeterminism(t *testing.T) {
 		t.Fatalf("replay diverged: %+v vs %+v", a, b)
 	}
 	for i := range a.Allocations {
-		if a.Allocations[i] .StartSec != b.Allocations[i].StartSec || a.Allocations[i].EndSec != b.Allocations[i].EndSec {
+		if a.Allocations[i].StartSec != b.Allocations[i].StartSec || a.Allocations[i].EndSec != b.Allocations[i].EndSec {
 			t.Fatalf("allocation %d diverged", i)
 		}
 	}

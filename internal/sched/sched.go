@@ -17,7 +17,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"netpart/internal/bgq"
 	"netpart/internal/torus"
@@ -505,320 +504,22 @@ func neverFits(m *bgq.Machine, midplanes int) bool {
 // RunContext is RunWithOptions with cancellation: the context is
 // checked once per event-loop iteration, so a canceled simulation
 // stops between events and returns ctx.Err().
+//
+// It is a Stepper (the incremental form of the event loop) driven to
+// completion: submit everything, drain, snapshot. The operation order
+// — validation, boundary application, placement attempts, float
+// accumulation — is exactly the incremental core's, so batch and
+// incremental runs of one workload are byte-identical.
 func RunContext(ctx context.Context, m *bgq.Machine, policy PlacementPolicy, jobs []Job, opts Options) (Result, error) {
-	fits := map[int]bool{}
-	for _, j := range jobs {
-		if err := validateJob(j); err != nil {
-			return Result{}, err
-		}
-		ok, checked := fits[j.Midplanes]
-		if !checked {
-			ok = !neverFits(m, j.Midplanes)
-			fits[j.Midplanes] = ok
-		}
-		if !ok {
-			return Result{}, &NeverFitsError{Job: j.ID, Midplanes: j.Midplanes, Machine: m.Name}
-		}
+	st, err := NewStepper(m, policy, opts)
+	if err != nil {
+		return Result{}, err
 	}
-	grid := NewGrid(m)
-	for i, o := range opts.Outages {
-		if err := validateOutage(i, o, len(grid.used)); err != nil {
-			return Result{}, err
-		}
+	if err := st.Submit(jobs...); err != nil {
+		return Result{}, err
 	}
-	queue := append([]Job(nil), jobs...)
-	sort.SliceStable(queue, func(i, j int) bool { return queue[i].ArrivalSec < queue[j].ArrivalSec })
-
-	res := Result{Policy: policy.Name()}
-	type running struct {
-		alloc Allocation
-		// price is the dilation the job was priced at (the product of
-		// 1/factor over open degrade windows overlapping its placement
-		// at the last (re)pricing).
-		price float64
+	if err := st.Drain(ctx); err != nil {
+		return Result{}, err
 	}
-	var active []running
-	now := 0.0
-
-	finishEarliest := func() int {
-		best := -1
-		for i, r := range active {
-			if best < 0 || r.alloc.EndSec < active[best].alloc.EndSec {
-				best = i
-			}
-		}
-		return best
-	}
-
-	// Outage machinery: per-outage cell masks for overlap tests, a
-	// time-sorted boundary list (heals before failures at ties, so a
-	// cell leaving one window can immediately enter another), and the
-	// open set for pricing.
-	type boundary struct {
-		timeSec float64
-		outage  int
-		open    bool
-	}
-	var boundaries []boundary
-	masks := make([][]bool, len(opts.Outages))
-	outageOpen := make([]bool, len(opts.Outages))
-	for i, o := range opts.Outages {
-		if o.Factor == 1 || len(o.Cells) == 0 {
-			continue // explicit no-op window
-		}
-		masks[i] = make([]bool, len(grid.used))
-		for _, c := range o.Cells {
-			masks[i][c] = true
-		}
-		boundaries = append(boundaries, boundary{o.StartSec, i, true})
-		if !math.IsInf(o.EndSec, 1) {
-			boundaries = append(boundaries, boundary{o.EndSec, i, false})
-		}
-	}
-	sort.Slice(boundaries, func(i, j int) bool {
-		a, b := boundaries[i], boundaries[j]
-		if a.timeSec != b.timeSec {
-			return a.timeSec < b.timeSec
-		}
-		if a.open != b.open {
-			return !a.open
-		}
-		return a.outage < b.outage
-	})
-	nextB := 0
-
-	overlaps := func(mask []bool, pl Placement) bool {
-		for _, c := range grid.cellsOf(pl.Origin, pl.Lens) {
-			if mask[c] {
-				return true
-			}
-		}
-		return false
-	}
-
-	// price returns the runtime dilation a placement suffers from the
-	// currently open degrade windows (1 when healthy).
-	price := func(pl Placement) float64 {
-		p := 1.0
-		for i, o := range opts.Outages {
-			if outageOpen[i] && o.Factor > 0 && o.Factor < 1 && overlaps(masks[i], pl) {
-				p /= o.Factor
-			}
-		}
-		return p
-	}
-
-	// jobDuration applies the configured runtime model (default: the
-	// contention-bound bisection stretch) for a placement.
-	jobDuration := opts.Duration
-	if jobDuration == nil {
-		jobDuration = func(job Job, pl Placement) float64 {
-			duration := job.BaseDurationSec
-			if job.ContentionBound {
-				best, _ := m.Best(job.Midplanes)
-				duration *= float64(best.BisectionBW()) / float64(pl.Partition().BisectionBW())
-			}
-			return duration
-		}
-	}
-
-	startJob := func(job Job, pl Placement, backfilled bool) {
-		p := price(pl)
-		duration := jobDuration(job, pl) * p
-		alloc := Allocation{Job: job, Placement: pl, StartSec: now, EndSec: now + duration, Backfilled: backfilled}
-		grid.occupy(job.ID, pl.Origin, pl.Lens)
-		active = append(active, running{alloc, p})
-		res.TotalWaitSec += now - job.ArrivalSec
-		res.TotalRunSec += duration
-		res.MidplaneSeconds += float64(job.Midplanes) * duration
-		if opts.OnStart != nil {
-			opts.OnStart(alloc)
-		}
-	}
-
-	// applyBoundary opens or heals one outage window at time `now`:
-	// hard windows kill overlapping jobs (requeued at the kill time)
-	// and block/unblock their cells; degrade windows reprice the
-	// remaining work of every running job whose dilation changed.
-	applyBoundary := func(b boundary) {
-		o := opts.Outages[b.outage]
-		if b.open && o.Factor == 0 {
-			// Kill overlapping running jobs in deterministic (start
-			// order) sequence. A job finishing exactly now is spared —
-			// its completion event is already due at this timestamp.
-			for i := 0; i < len(active); {
-				a := active[i].alloc
-				if a.EndSec > now && overlaps(masks[b.outage], a.Placement) {
-					remaining := a.EndSec - now
-					grid.release(a.Job.ID, a.Placement.Origin, a.Placement.Lens)
-					res.TotalRunSec -= remaining
-					res.MidplaneSeconds -= float64(a.Job.Midplanes) * remaining
-					res.Kills = append(res.Kills, Kill{Job: a.Job, Placement: a.Placement, StartSec: a.StartSec, KillSec: now})
-					active = append(active[:i], active[i+1:]...)
-					requeued := a.Job
-					requeued.ArrivalSec = now
-					pos := sort.Search(len(queue), func(k int) bool { return queue[k].ArrivalSec > now })
-					queue = append(queue, Job{})
-					copy(queue[pos+1:], queue[pos:])
-					queue[pos] = requeued
-					if opts.OnKill != nil {
-						opts.OnKill(a, now, grid.FreeMidplanes())
-					}
-				} else {
-					i++
-				}
-			}
-		}
-		outageOpen[b.outage] = b.open
-		if o.Factor == 0 {
-			if b.open {
-				grid.block(o.Cells)
-			} else {
-				grid.unblock(o.Cells)
-			}
-		} else {
-			// Degrade boundary: reprice every running job whose open
-			// window set changed. Remaining work scales by the price
-			// ratio; elapsed work stays paid.
-			for i := range active {
-				a := &active[i].alloc
-				newP := price(a.Placement)
-				oldP := active[i].price
-				if newP == oldP || a.EndSec <= now {
-					continue
-				}
-				remaining := a.EndSec - now
-				adjusted := remaining * newP / oldP
-				a.EndSec = now + adjusted
-				res.TotalRunSec += adjusted - remaining
-				res.MidplaneSeconds += float64(a.Job.Midplanes) * (adjusted - remaining)
-				active[i].price = newP
-			}
-		}
-		if opts.OnOutage != nil {
-			opts.OnOutage(b.outage, b.open, now, grid.FreeMidplanes())
-		}
-	}
-
-	// shadowTime estimates when the head job could start: the earliest
-	// completion prefix after which free midplanes cover the request
-	// (count-based, optimistic about fragmentation — conservative for
-	// backfill admission because it never overestimates the wait).
-	shadowTime := func(need int) float64 {
-		free := grid.FreeMidplanes()
-		if free >= need {
-			return now
-		}
-		ends := make([]Allocation, 0, len(active))
-		for _, r := range active {
-			ends = append(ends, r.alloc)
-		}
-		sort.Slice(ends, func(i, j int) bool { return ends[i].EndSec < ends[j].EndSec })
-		for _, a := range ends {
-			free += a.Job.Midplanes
-			if free >= need {
-				return a.EndSec
-			}
-		}
-		return math.Inf(1)
-	}
-
-	for {
-		// Apply every outage boundary that is due. This runs before
-		// placement so a window opening at the current instant affects
-		// the occupancy the queue head sees (including windows at t=0).
-		for nextB < len(boundaries) && boundaries[nextB].timeSec <= now {
-			applyBoundary(boundaries[nextB])
-			nextB++
-		}
-		if len(queue) == 0 && len(active) == 0 {
-			break
-		}
-		if err := ctx.Err(); err != nil {
-			return Result{}, err
-		}
-		// Try to start the head of the queue (strict FCFS).
-		started := false
-		if len(queue) > 0 && queue[0].ArrivalSec <= now {
-			job := queue[0]
-			if cands := grid.candidates(job.Midplanes); len(cands) > 0 {
-				startJob(job, policy.Choose(job, cands), false)
-				queue = queue[1:]
-				started = true
-			} else if opts.Backfill {
-				// The head waits: admit later arrived jobs that finish
-				// by the head's shadow time. An infinite shadow (a
-				// permanent outage holds the cells the head needs) would
-				// admit everything and starve the head, so backfill is
-				// skipped entirely.
-				shadow := shadowTime(job.Midplanes)
-				for i := 1; !math.IsInf(shadow, 1) && i < len(queue); i++ {
-					cand := queue[i]
-					if cand.ArrivalSec > now {
-						continue
-					}
-					cs := grid.candidates(cand.Midplanes)
-					if len(cs) == 0 {
-						continue
-					}
-					pl := policy.Choose(cand, cs)
-					if now+jobDuration(cand, pl)*price(pl) <= shadow {
-						startJob(cand, pl, true)
-						queue = append(queue[:i], queue[i+1:]...)
-						started = true
-						break
-					}
-				}
-			}
-		}
-		if started {
-			continue
-		}
-		// Advance time to the next event: a completion, an outage
-		// boundary or an arrival — in that order at ties, so jobs
-		// finishing exactly when a window opens complete instead of
-		// being killed, and healed cells are visible to an arrival at
-		// the same instant.
-		nextArrival := -1.0
-		for _, j := range queue {
-			if j.ArrivalSec > now && (nextArrival < 0 || j.ArrivalSec < nextArrival) {
-				nextArrival = j.ArrivalSec
-			}
-		}
-		nextBoundary := math.Inf(1)
-		if nextB < len(boundaries) {
-			nextBoundary = boundaries[nextB].timeSec
-		}
-		fi := finishEarliest()
-		switch {
-		case fi >= 0 && active[fi].alloc.EndSec <= nextBoundary && (nextArrival < 0 || active[fi].alloc.EndSec <= nextArrival):
-			a := active[fi].alloc
-			now = a.EndSec
-			grid.release(a.Job.ID, a.Placement.Origin, a.Placement.Lens)
-			res.Allocations = append(res.Allocations, a)
-			active = append(active[:fi], active[fi+1:]...)
-			if a.EndSec > res.MakespanSec {
-				res.MakespanSec = a.EndSec
-			}
-			if opts.OnFinish != nil {
-				opts.OnFinish(a)
-			}
-		case !math.IsInf(nextBoundary, 1) && (nextArrival < 0 || nextBoundary <= nextArrival):
-			now = nextBoundary // the top-of-loop drain applies it
-		case nextArrival >= 0:
-			now = nextArrival
-		default:
-			if len(boundaries) > 0 {
-				// The head cannot be placed and nothing will ever free
-				// or heal a midplane: a permanent outage starved it.
-				return Result{}, &StarvedError{Job: queue[0].ID, Midplanes: queue[0].Midplanes, Machine: m.Name}
-			}
-			// Unreachable after the up-front feasibility pass: the head
-			// could be placed on an empty machine, and with nothing
-			// running and no future arrival the machine is empty.
-			return Result{}, &NeverFitsError{Job: queue[0].ID, Midplanes: queue[0].Midplanes, Machine: m.Name}
-		}
-	}
-	sort.Slice(res.Allocations, func(i, j int) bool { return res.Allocations[i].Job.ID < res.Allocations[j].Job.ID })
-	return res, nil
+	return st.Result(), nil
 }

@@ -1,0 +1,152 @@
+package tracesim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netpart/internal/faults"
+	"netpart/internal/sched/cluster"
+)
+
+// replayThroughSession replays a complete normalized trace through a
+// fresh free-running cluster session in nchunks submissions and
+// returns the final metrics. The last chunk is resubmitted before
+// closing to prove idempotency never perturbs the schedule.
+func replayThroughSession(t *testing.T, norm Spec, trace []JobSpec, nchunks int) Metrics {
+	t.Helper()
+	sess, err := cluster.Open(cluster.Spec{
+		Machine:  norm.Machine,
+		Policy:   norm.Policy,
+		Backfill: norm.Backfill,
+		Failures: norm.Failures,
+	}, cluster.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]cluster.SubmitJob, len(trace))
+	for i, j := range trace {
+		jobs[i] = cluster.SubmitJob{
+			ID:              fmt.Sprintf("job-%04d", i),
+			Midplanes:       j.Midplanes,
+			ArrivalSec:      j.ArrivalSec,
+			RuntimeSec:      j.RuntimeSec,
+			Pattern:         j.Pattern,
+			ContentionBound: j.ContentionBound,
+		}
+	}
+	ctx := context.Background()
+	size := (len(jobs) + nchunks - 1) / nchunks
+	accepted := 0
+	var lastChunk []cluster.SubmitJob
+	for at := 0; at < len(jobs); at += size {
+		end := at + size
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		lastChunk = jobs[at:end]
+		rec, err := sess.Submit(ctx, lastChunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted += rec.Accepted
+	}
+	if accepted != len(jobs) {
+		t.Fatalf("accepted %d of %d jobs", accepted, len(jobs))
+	}
+	if len(lastChunk) > 0 { // a retried submission is a no-op
+		rec, err := sess.Submit(ctx, lastChunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Accepted != 0 || rec.Duplicates != len(lastChunk) {
+			t.Fatalf("retry accepted %d, duplicates %d, want 0/%d", rec.Accepted, rec.Duplicates, len(lastChunk))
+		}
+	}
+	met, err := sess.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return met
+}
+
+// replaySpecs is the property-test matrix: synthetic traces under
+// every policy × backfill × failure-model combination, plus SWF
+// traces (plain and failure-laden).
+func replaySpecs(t *testing.T) []Spec {
+	t.Helper()
+	outages := &faults.Spec{
+		Model:    faults.ModelCorrelatedRegion,
+		Fraction: 0.15,
+		Windows:  []faults.Window{{StartSec: 0, EndSec: 400}, {StartSec: 900, EndSec: 1300}},
+	}
+	var specs []Spec
+	for _, policy := range allPolicies {
+		for _, backfill := range []bool{false, true} {
+			for _, failures := range []*faults.Spec{nil, outages} {
+				specs = append(specs, Spec{
+					Machine: "juqueen", Policy: policy, Backfill: backfill, Failures: failures,
+					Synthetic: &Synthetic{
+						Jobs: 24, Seed: 7, RateHz: 0.05,
+						Pattern: PatternPairing, PatternFraction: 0.5,
+					},
+				})
+			}
+		}
+	}
+	f, err := os.Open(filepath.Join("testdata", "sample.swf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	swfJobs, err := ParseSWF(f, SWFOptions{ProcsPerMidplane: 512, Pattern: PatternPairing, ContentionEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs = append(specs,
+		Spec{Machine: "juqueen", Policy: PolicyContentionAware, Backfill: true, Jobs: swfJobs},
+		Spec{Machine: "juqueen", Policy: PolicyFirstFit, Jobs: swfJobs, Failures: outages},
+	)
+	return specs
+}
+
+// TestClusterReplayMatchesRun is the ISSUE 8 acceptance property:
+// replaying any complete trace through a cluster session — in one
+// submission or chunked — yields metrics byte-identical to the batch
+// simulator's, including the healthy-baseline deltas of failure
+// specs.
+func TestClusterReplayMatchesRun(t *testing.T) {
+	specs := replaySpecs(t)
+	if testing.Short() {
+		specs = append(specs[:3], specs[len(specs)-2:]...)
+	}
+	for _, spec := range specs {
+		norm, err := spec.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := Run(context.Background(), spec, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", norm.Title(), err)
+		}
+		want, err := json.Marshal(batch.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := norm.trace()
+		for _, chunks := range []int{1, 5} {
+			met := replayThroughSession(t, norm, trace, chunks)
+			got, err := json.Marshal(met)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("%s in %d chunk(s): session metrics differ from batch run\n got %s\nwant %s",
+					norm.Title(), chunks, got, want)
+			}
+		}
+	}
+}

@@ -4,120 +4,33 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"math"
-	"sort"
 	"sync"
 
-	"netpart/internal/bgq"
-	"netpart/internal/faults"
-	"netpart/internal/model"
-	"netpart/internal/netsim"
-	"netpart/internal/route"
 	"netpart/internal/scenario"
-	"netpart/internal/sched"
+	"netpart/internal/sched/cluster"
 	"netpart/internal/tabulate"
-	"netpart/internal/torus"
-	"netpart/internal/workload"
 )
 
 // Event is one simulator occurrence, emitted in simulation-time order
-// (the event loop is sequential, so callbacks are serialized).
-type Event struct {
-	// Kind is "start", "finish", "kill" (a hard outage evicted the
-	// job mid-run; it requeues), "outage" (a failure window opened) or
-	// "heal" (it closed). Outage and heal events carry Job -1 and the
-	// affected cell count in Midplanes.
-	Kind    string  `json:"kind"`
-	TimeSec float64 `json:"time_sec"`
-	Job     int     `json:"job"`
+// (the event loop is sequential, so callbacks are serialized). It is
+// the cluster engine's event type; batch runs forward the
+// start/finish/kill/outage/heal kinds.
+type Event = cluster.Event
 
-	Midplanes int    `json:"midplanes"`
-	Geometry  string `json:"geometry,omitempty"`
-	// Dilation is the job's runtime stretch from its placed geometry.
-	Dilation float64 `json:"dilation,omitempty"`
-	// FreeMidplanes is the machine's free count after the event
-	// (midplanes inside an open hard-outage window are not free).
-	FreeMidplanes int  `json:"free_midplanes"`
-	Backfilled    bool `json:"backfilled,omitempty"`
-}
+// JobOutcome is one job's simulated fate.
+type JobOutcome = cluster.JobOutcome
+
+// Metrics are the trace's headline numbers.
+type Metrics = cluster.Metrics
 
 // Options tunes one simulation run.
 type Options struct {
-	// OnEvent, when non-nil, receives every start/finish event in
-	// simulation-time order.
+	// OnEvent, when non-nil, receives every start/finish/kill/outage/
+	// heal event in simulation-time order.
 	OnEvent func(Event)
 	// OnProgress, when non-nil, receives (finishedJobs, totalJobs)
 	// after every completion.
 	OnProgress func(done, total int)
-}
-
-// JobOutcome is one job's simulated fate.
-type JobOutcome struct {
-	ID         int     `json:"id"`
-	Midplanes  int     `json:"midplanes"`
-	ArrivalSec float64 `json:"arrival_sec"`
-	StartSec   float64 `json:"start_sec"`
-	EndSec     float64 `json:"end_sec"`
-	WaitSec    float64 `json:"wait_sec"`
-	// RuntimeSec is the actual (dilated) runtime; BaseSec the runtime
-	// on the best geometry of the job's size.
-	RuntimeSec float64 `json:"runtime_sec"`
-	BaseSec    float64 `json:"base_sec"`
-	// Dilation = RuntimeSec / BaseSec: the contention the allocation
-	// geometry cost this job.
-	Dilation float64 `json:"dilation"`
-	// Stretch = (WaitSec + RuntimeSec) / BaseSec: the queue's total
-	// slowdown of the job.
-	Stretch     float64 `json:"stretch"`
-	Geometry    string  `json:"geometry"`
-	BisectionBW int     `json:"bisection_bw"`
-	Pattern     string  `json:"pattern,omitempty"`
-	Backfilled  bool    `json:"backfilled,omitempty"`
-	// Restarts counts hard-outage evictions the job survived before
-	// its recorded (successful) run.
-	Restarts int `json:"restarts,omitempty"`
-}
-
-// Metrics are the trace's headline numbers.
-type Metrics struct {
-	Jobs        int     `json:"jobs"`
-	Patterned   int     `json:"patterned"`
-	Backfilled  int     `json:"backfilled"`
-	MakespanSec float64 `json:"makespan_sec"`
-	AvgWaitSec  float64 `json:"avg_wait_sec"`
-	MaxWaitSec  float64 `json:"max_wait_sec"`
-	AvgStretch  float64 `json:"avg_stretch"`
-	MaxStretch  float64 `json:"max_stretch"`
-	// ContentionX is the run-weighted mean dilation (total actual
-	// runtime over total base runtime): the queue-wide contention
-	// factor the policy left on the table.
-	ContentionX float64 `json:"contention_x"`
-	// Utilization is allocated midplane-seconds over machine
-	// midplane-seconds across the makespan.
-	Utilization float64 `json:"utilization"`
-	// Fragmentation is the time-weighted mean fraction of midplanes
-	// idle while at least one job was waiting: capacity the schedule
-	// could not use because no fitting cuboid existed (or FCFS order
-	// forbade it).
-	Fragmentation float64 `json:"fragmentation"`
-	// MidplaneSeconds is the utilization integral.
-	MidplaneSeconds float64 `json:"midplane_seconds"`
-
-	// Failure metrics (Spec.Failures; all zero on a healthy machine).
-	// FailedMidplanes and DegradedMidplanes count the affected cells;
-	// Kills the hard-outage evictions. The Healthy* fields are the
-	// baseline run of the same spec with failures stripped, and the
-	// Delta ratios failed/healthy — the robustness cost of the failure
-	// under this policy.
-	FailedMidplanes    int     `json:"failed_midplanes,omitempty"`
-	DegradedMidplanes  int     `json:"degraded_midplanes,omitempty"`
-	Kills              int     `json:"kills,omitempty"`
-	HealthyMakespanSec float64 `json:"healthy_makespan_sec,omitempty"`
-	HealthyAvgStretch  float64 `json:"healthy_avg_stretch,omitempty"`
-	HealthyContentionX float64 `json:"healthy_contention_x,omitempty"`
-	MakespanDeltaX     float64 `json:"makespan_delta_x,omitempty"`
-	StretchDeltaX      float64 `json:"stretch_delta_x,omitempty"`
-	ContentionDeltaX   float64 `json:"contention_delta_x,omitempty"`
 }
 
 // Result is a completed trace simulation: the normalized spec, the
@@ -138,123 +51,12 @@ func (r *Result) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
 }
 
-
-// patternSecMemo caches pattern round times by "geometry|pattern".
-// The value is machine-independent and a deterministic function of
-// the key, so one process-wide cache (mirroring iso.Bisection's
-// memoized cuboid search) serves every simulation, grid point and
-// serving flight without recomputing the flow-level netsim rounds.
-var patternSecMemo sync.Map
-
-// scorer computes placement-time contention dilation: the max-min
-// fair round time of a job's communication pattern on its placed
-// geometry, relative to the best geometry of the same size.
-type scorer struct {
-	m *bgq.Machine
-}
-
-func newScorer(m *bgq.Machine) *scorer {
-	return &scorer{m: m}
-}
-
-// patternSec returns the flow-level simulated time of one pattern
-// round on the midplane-level torus of the geometry (0 when the
-// geometry has no links, i.e. a single midplane).
-func (sc *scorer) patternSec(geom torus.Shape, pattern string) (float64, error) {
-	key := geom.String() + "|" + pattern
-	if v, ok := patternSecMemo.Load(key); ok {
-		return v.(float64), nil
-	}
-	// Length-1 dimensions carry no links; drop them so the torus is
-	// the real communication graph of the cuboid.
-	dims := make([]int, 0, len(geom))
-	for _, d := range geom {
-		if d > 1 {
-			dims = append(dims, d)
-		}
-	}
-	if len(dims) == 0 {
-		patternSecMemo.Store(key, 0.0)
-		return 0, nil
-	}
-	tor, err := torus.New(dims...)
-	if err != nil {
-		return 0, fmt.Errorf("tracesim: geometry %s: %w", geom, err)
-	}
-	r := route.NewRouter(tor)
-	var demands []route.Demand
-	switch pattern {
-	case PatternPairing:
-		demands, err = workload.BisectionPairing(r, scenario.DefaultBytes)
-	case PatternAllToAll:
-		demands, err = workload.AllToAll(tor, scenario.DefaultBytes)
-	case PatternNeighbor:
-		demands, err = workload.NearestNeighbor(tor, scenario.DefaultBytes)
-	default:
-		err = fmt.Errorf("tracesim: unknown pattern %q", pattern)
-	}
-	if err != nil {
-		return 0, err
-	}
-	caps := make([]float64, r.NumLinks())
-	for i := range caps {
-		caps[i] = model.LinkBytesPerSec
-	}
-	sim := netsim.NewWithCapacities(caps)
-	started := false
-	for _, d := range demands {
-		if path := r.Route(d.Src, d.Dst, nil); len(path) > 0 {
-			sim.StartFlow(path, d.Bytes, 0)
-			started = true
-		}
-	}
-	var sec float64
-	if started {
-		sec = sim.RunUntilIdle()
-	}
-	patternSecMemo.Store(key, sec)
-	return sec, nil
-}
-
-// dilation scores one placement: patterned jobs by the flow-level
-// pattern round time relative to the best geometry of the size,
-// contention-bound jobs without a pattern by the bisection-bandwidth
-// ratio, everything else 1.
-func (sc *scorer) dilation(js JobSpec, pl sched.Placement) (float64, error) {
-	if js.Pattern == "" {
-		if !js.ContentionBound {
-			return 1, nil
-		}
-		best, ok := sc.m.Best(js.Midplanes)
-		if !ok {
-			return 1, nil
-		}
-		return float64(best.BisectionBW()) / float64(pl.Partition().BisectionBW()), nil
-	}
-	best, ok := sc.m.Best(js.Midplanes)
-	if !ok {
-		return 1, nil
-	}
-	bestSec, err := sc.patternSec(best.Geometry(), js.Pattern)
-	if err != nil {
-		return 0, err
-	}
-	placedSec, err := sc.patternSec(pl.Lens, js.Pattern)
-	if err != nil {
-		return 0, err
-	}
-	if bestSec <= 0 || placedSec <= bestSec {
-		// The placed geometry is no worse than the bisection-best one
-		// for this pattern; base runtime already covers it.
-		return 1, nil
-	}
-	return placedSec / bestSec, nil
-}
-
 // Run executes the trace simulation: normalize, resolve the machine,
-// materialize the trace, schedule it under the policy with
-// placement-time contention feedback, and reduce the schedule to
-// metrics. The context is checked once per event-loop iteration.
+// materialize the trace, and drive it through the incremental cluster
+// engine — submit everything, drain to completion, reduce to metrics.
+// Batch runs are byte-identical to the pre-engine event loop (the
+// goldens pin this). The context is checked once per event-loop
+// iteration.
 func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
@@ -273,194 +75,72 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 
 	trace := norm.trace()
 	n := len(trace)
-	jobs := make([]sched.Job, n)
-	for i, j := range trace {
-		jobs[i] = sched.Job{
-			ID:              i,
-			Midplanes:       j.Midplanes,
-			ArrivalSec:      j.ArrivalSec,
-			BaseDurationSec: j.RuntimeSec,
-			ContentionBound: j.ContentionBound,
-		}
-	}
-
-	sc := newScorer(m)
-	total := m.Midplanes()
-	free := total
 	done := 0
-	restarts := make([]int, n)
-
-	// Failure model: resolve the affected cells once, then one sched
-	// outage per window (no windows: the failure holds for the whole
-	// run).
-	var outages []sched.Outage
-	var failCells []int
-	if f := norm.Failures; f != nil {
-		failCells, err = f.ResolveMidplanes(m.Grid)
-		if err != nil {
-			return nil, err
-		}
-		windows := f.Windows
-		if len(windows) == 0 {
-			windows = []faults.Window{{StartSec: 0, EndSec: math.Inf(1)}}
-		}
-		for _, w := range windows {
-			outages = append(outages, sched.Outage{StartSec: w.StartSec, EndSec: w.EndSec, Cells: failCells, Factor: f.Factor})
-		}
-	}
-	// dilations records the scored dilation per job. The Duration hook
-	// may run several times for one job (backfill admission probes),
-	// but its final call for a job is always for the placement actually
-	// used, so the last write is the one that held.
-	dilations := make([]float64, n)
-	var scoreErr error
-	sopts := sched.Options{
+	eng, err := cluster.NewEngine(cluster.Config{
+		Machine:  m,
+		Policy:   norm.Policy,
 		Backfill: norm.Backfill,
-		Duration: func(j sched.Job, pl sched.Placement) float64 {
-			d, err := sc.dilation(trace[j.ID], pl)
-			if err != nil && scoreErr == nil {
-				scoreErr = err
-				d = 1
+		Failures: norm.Failures,
+		OnEvent: func(ev Event) {
+			// The engine also emits submit/place/contention events;
+			// batch consumers see the classic stream.
+			switch ev.Kind {
+			case "start", "finish", "kill", "outage", "heal":
+			default:
+				return
 			}
-			dilations[j.ID] = d
-			return j.BaseDurationSec * d
-		},
-		OnStart: func(a sched.Allocation) {
-			free -= a.Job.Midplanes
 			if opts.OnEvent != nil {
-				opts.OnEvent(Event{
-					Kind: "start", TimeSec: a.StartSec, Job: a.Job.ID,
-					Midplanes: a.Job.Midplanes, Geometry: a.Placement.Lens.String(),
-					Dilation:      dilations[a.Job.ID],
-					FreeMidplanes: free, Backfilled: a.Backfilled,
-				})
+				opts.OnEvent(ev)
 			}
-		},
-		OnFinish: func(a sched.Allocation) {
-			free += a.Job.Midplanes
-			done++
-			if opts.OnEvent != nil {
-				opts.OnEvent(Event{
-					Kind: "finish", TimeSec: a.EndSec, Job: a.Job.ID,
-					Midplanes: a.Job.Midplanes, Geometry: a.Placement.Lens.String(),
-					Dilation:      dilations[a.Job.ID],
-					FreeMidplanes: free, Backfilled: a.Backfilled,
-				})
-			}
-			if opts.OnProgress != nil {
-				opts.OnProgress(done, n)
-			}
-		},
-		Outages: outages,
-		OnOutage: func(_ int, open bool, timeSec float64, gridFree int) {
-			free = gridFree // resync: blocking/healing changes free capacity
-			if opts.OnEvent != nil {
-				kind := "outage"
-				if !open {
-					kind = "heal"
+			if ev.Kind == "finish" {
+				done++
+				if opts.OnProgress != nil {
+					opts.OnProgress(done, n)
 				}
-				opts.OnEvent(Event{
-					Kind: kind, TimeSec: timeSec, Job: -1,
-					Midplanes: len(failCells), FreeMidplanes: free,
-				})
 			}
 		},
-		OnKill: func(a sched.Allocation, timeSec float64, gridFree int) {
-			free = gridFree
-			restarts[a.Job.ID]++
-			if opts.OnEvent != nil {
-				opts.OnEvent(Event{
-					Kind: "kill", TimeSec: timeSec, Job: a.Job.ID,
-					Midplanes: a.Job.Midplanes, Geometry: a.Placement.Lens.String(),
-					Dilation:      dilations[a.Job.ID],
-					FreeMidplanes: free, Backfilled: a.Backfilled,
-				})
-			}
-		},
-	}
-	policy, ok := sched.PolicyByName(norm.Policy)
-	if !ok {
-		// Normalize validated the spelling; unreachable.
-		return nil, fmt.Errorf("tracesim: unknown policy %q", norm.Policy)
-	}
-	sres, err := sched.RunContext(ctx, m, policy, jobs, sopts)
+	})
 	if err != nil {
 		return nil, err
 	}
-	if scoreErr != nil {
-		return nil, scoreErr
+	jobs := make([]cluster.Job, n)
+	for i, j := range trace {
+		jobs[i] = cluster.Job{
+			Midplanes:       j.Midplanes,
+			ArrivalSec:      j.ArrivalSec,
+			RuntimeSec:      j.RuntimeSec,
+			Pattern:         j.Pattern,
+			ContentionBound: j.ContentionBound,
+		}
+	}
+	if _, err := eng.Submit(jobs); err != nil {
+		return nil, err
+	}
+	if err := eng.Drain(ctx); err != nil {
+		return nil, err
 	}
 
 	res := &Result{
 		Spec:             norm,
 		Machine:          m.Name,
-		MachineMidplanes: total,
-		Jobs:             make([]JobOutcome, 0, n),
+		MachineMidplanes: m.Midplanes(),
+		Jobs:             eng.Outcomes(),
 	}
-	for _, a := range sres.Allocations {
-		js := trace[a.Job.ID]
-		run := a.EndSec - a.StartSec
-		// Killed jobs are requeued with their arrival reset to the
-		// kill time; the outcome reports against the original trace
-		// arrival, so wait and stretch include the evicted partial run.
-		arrival := js.ArrivalSec
-		out := JobOutcome{
-			ID:         a.Job.ID,
-			Midplanes:  a.Job.Midplanes,
-			ArrivalSec: arrival,
-			StartSec:   a.StartSec,
-			EndSec:     a.EndSec,
-			WaitSec:    a.StartSec - arrival,
-			RuntimeSec: run,
-			BaseSec:    a.Job.BaseDurationSec,
-			Dilation:   dilations[a.Job.ID],
-			Stretch:    (a.EndSec - arrival) / a.Job.BaseDurationSec,
-			Geometry:   a.Placement.Lens.String(),
-			Pattern:    js.Pattern,
-			Backfilled: a.Backfilled,
-			Restarts:   restarts[a.Job.ID],
-		}
-		out.BisectionBW = a.Placement.Partition().BisectionBW()
-		res.Jobs = append(res.Jobs, out)
-	}
-	res.Metrics = reduce(res.Jobs, total, sres)
-	for _, j := range trace {
-		if j.Pattern != "" {
-			res.Metrics.Patterned++
-		}
-	}
-	if f := norm.Failures; f != nil {
-		met := &res.Metrics
-		met.Kills = len(sres.Kills)
-		if f.Factor == 0 {
-			met.FailedMidplanes = len(failCells)
-		} else if f.Factor < 1 {
-			met.DegradedMidplanes = len(failCells)
-		}
+	res.Metrics = eng.Metrics()
+	if norm.Failures != nil {
 		hm, err := healthyMetrics(ctx, norm)
 		if err != nil {
 			return nil, fmt.Errorf("tracesim: healthy baseline: %w", err)
 		}
-		met.HealthyMakespanSec = hm.MakespanSec
-		met.HealthyAvgStretch = hm.AvgStretch
-		met.HealthyContentionX = hm.ContentionX
-		if hm.MakespanSec > 0 {
-			met.MakespanDeltaX = met.MakespanSec / hm.MakespanSec
-		}
-		if hm.AvgStretch > 0 {
-			met.StretchDeltaX = met.AvgStretch / hm.AvgStretch
-		}
-		if hm.ContentionX > 0 {
-			met.ContentionDeltaX = met.ContentionX / hm.ContentionX
-		}
+		cluster.ApplyHealthyDeltas(&res.Metrics, hm)
 	}
 	return res, nil
 }
 
 // healthyMemo caches the healthy-baseline metrics by the healthy
 // spec's Key. Sweeping a failure axis re-runs the same healthy twin
-// for every point, so one process-wide cache (the patternSecMemo
-// precedent) pays for the baseline once per distinct spec.
+// for every point, so one process-wide cache pays for the baseline
+// once per distinct spec.
 var healthyMemo sync.Map
 
 // healthyMetrics runs the failure-stripped twin of a normalized spec
@@ -478,88 +158,6 @@ func healthyMetrics(ctx context.Context, norm Spec) (Metrics, error) {
 	}
 	healthyMemo.Store(key, hres.Metrics)
 	return hres.Metrics, nil
-}
-
-// reduce computes the headline metrics from the per-job outcomes.
-func reduce(jobs []JobOutcome, machineMidplanes int, sres sched.Result) Metrics {
-	met := Metrics{Jobs: len(jobs), MakespanSec: sres.MakespanSec, MidplaneSeconds: sres.MidplaneSeconds}
-	if len(jobs) == 0 {
-		return met
-	}
-	totalBase := 0.0
-	for _, j := range jobs {
-		met.AvgWaitSec += j.WaitSec
-		if j.WaitSec > met.MaxWaitSec {
-			met.MaxWaitSec = j.WaitSec
-		}
-		met.AvgStretch += j.Stretch
-		if j.Stretch > met.MaxStretch {
-			met.MaxStretch = j.Stretch
-		}
-		totalBase += j.BaseSec
-		if j.Backfilled {
-			met.Backfilled++
-		}
-	}
-	met.AvgWaitSec /= float64(len(jobs))
-	met.AvgStretch /= float64(len(jobs))
-	if totalBase > 0 {
-		met.ContentionX = sres.TotalRunSec / totalBase
-	}
-	if met.MakespanSec > 0 && machineMidplanes > 0 {
-		met.Utilization = met.MidplaneSeconds / (float64(machineMidplanes) * met.MakespanSec)
-	}
-	met.Fragmentation = fragmentation(jobs, machineMidplanes)
-	return met
-}
-
-// fragmentation integrates the free-midplane fraction over the
-// intervals during which at least one job was waiting (arrived but
-// not started), normalized by the total waiting time. It is computed
-// from the completed schedule in one O(n log n) sweep: every boundary
-// is an arrival, start or end, so the waiting count and occupancy are
-// constant inside each interval and maintained as running counters —
-// an arrival adds a waiter, a start retires one and occupies the
-// job's midplanes, an end releases them. Deltas at equal times all
-// apply before their interval is scored (integer sums, so the result
-// does not depend on tie order).
-func fragmentation(jobs []JobOutcome, machineMidplanes int) float64 {
-	if machineMidplanes <= 0 || len(jobs) == 0 {
-		return 0
-	}
-	type delta struct {
-		timeSec float64
-		waiting int
-		busy    int
-	}
-	events := make([]delta, 0, 3*len(jobs))
-	for _, j := range jobs {
-		events = append(events,
-			delta{j.ArrivalSec, 1, 0},
-			delta{j.StartSec, -1, j.Midplanes},
-			delta{j.EndSec, 0, -j.Midplanes})
-	}
-	sort.Slice(events, func(i, k int) bool { return events[i].timeSec < events[k].timeSec })
-	fragSec, waitSec := 0.0, 0.0
-	waiting, busy := 0, 0
-	for i := 0; i < len(events); {
-		t := events[i].timeSec
-		for i < len(events) && events[i].timeSec == t {
-			waiting += events[i].waiting
-			busy += events[i].busy
-			i++
-		}
-		if i == len(events) || waiting <= 0 {
-			continue
-		}
-		dt := events[i].timeSec - t
-		waitSec += dt
-		fragSec += dt * float64(machineMidplanes-busy) / float64(machineMidplanes)
-	}
-	if waitSec == 0 {
-		return 0
-	}
-	return fragSec / waitSec
 }
 
 // Table renders the result as a deterministic metric/value table —

@@ -45,26 +45,44 @@ import (
 // Points past it fail over to local execution.
 const DefaultPeerTimeout = 2 * time.Minute
 
-// peer is one worker endpoint plus its dispatch counters.
+// DefaultPeerProbeInterval is how often an unhealthy peer is
+// re-probed (via GET /v1/healthz) while dispatches skip it.
+const DefaultPeerProbeInterval = 15 * time.Second
+
+// peerProbeTimeout caps one health probe; a probe is a readiness
+// check, not a computation, so it gets a short leash.
+const peerProbeTimeout = 5 * time.Second
+
+// peer is one worker endpoint plus its health state and dispatch
+// counters.
 type peer struct {
 	base string // e.g. "http://10.0.0.7:8080"
 
+	healthy    atomic.Bool  // skip the peer in pick while false
+	lastProbe  atomic.Int64 // unix nanos of the last probe (or failure)
+	probing    atomic.Bool  // one in-flight probe at a time
 	dispatched atomic.Int64 // points successfully executed remotely
 	failed     atomic.Int64 // dispatch attempts that fell back to local
+	skipped    atomic.Int64 // picks that walked past this peer while unhealthy
+	probes     atomic.Int64 // health re-probes issued
 }
 
 // peerDoc is a peer's healthz representation.
 type peerDoc struct {
 	URL        string `json:"url"`
+	Healthy    bool   `json:"healthy"`
 	Dispatched int64  `json:"dispatched"`
 	Failed     int64  `json:"failed"`
+	Skipped    int64  `json:"skipped"`
+	Probes     int64  `json:"probes"`
 }
 
 // peerPool shards points across worker daemons.
 type peerPool struct {
-	peers   []*peer
-	client  *http.Client
-	timeout time.Duration
+	peers      []*peer
+	client     *http.Client
+	timeout    time.Duration
+	probeEvery time.Duration
 }
 
 func newPeerPool(urls []string, timeout time.Duration) *peerPool {
@@ -74,28 +92,89 @@ func newPeerPool(urls []string, timeout time.Duration) *peerPool {
 	if timeout < 0 {
 		timeout = 0
 	}
-	pp := &peerPool{client: &http.Client{}, timeout: timeout}
+	pp := &peerPool{client: &http.Client{}, timeout: timeout, probeEvery: DefaultPeerProbeInterval}
 	for _, u := range urls {
-		pp.peers = append(pp.peers, &peer{base: u})
+		p := &peer{base: u}
+		p.healthy.Store(true) // innocent until a dispatch fails
+		pp.peers = append(pp.peers, p)
 	}
 	return pp
 }
 
+// errNoHealthyPeer reports an all-unhealthy fleet; the caller's local
+// fallback keeps the sweep moving while background probes look for a
+// recovered worker.
+var errNoHealthyPeer = errors.New("serve: no healthy peer")
+
 // pick maps a point's content ID onto a peer. The mapping is a pure
-// function of the ID, so every coordinator in a fleet routes the same
-// point to the same worker and the worker's cache coalesces the
-// duplicates.
+// function of the ID — every coordinator in a fleet routes the same
+// point to the same worker, whose cache coalesces the duplicates —
+// except that unhealthy peers are skipped: the walk continues around
+// the ring to the next healthy peer (kicking off an async re-probe of
+// each one it passes), so a dead worker costs one failed dispatch
+// when it dies, not one timeout per point. With no healthy peer left
+// pick returns nil and execution stays local until a probe restores
+// someone.
 func (pp *peerPool) pick(id string) *peer {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return pp.peers[int(h.Sum32())%len(pp.peers)]
+	start := int(h.Sum32()) % len(pp.peers)
+	for i := range pp.peers {
+		p := pp.peers[(start+i)%len(pp.peers)]
+		if p.healthy.Load() {
+			return p
+		}
+		p.skipped.Add(1)
+		pp.maybeProbe(p)
+	}
+	return nil
 }
 
-// stats snapshots per-peer dispatch counters for healthz.
+// maybeProbe re-probes an unhealthy peer's /v1/healthz in the
+// background, at most once per probe interval and one in flight per
+// peer. A 200 restores the peer to the ring.
+func (pp *peerPool) maybeProbe(p *peer) {
+	now := time.Now().UnixNano()
+	last := p.lastProbe.Load()
+	if now-last < int64(pp.probeEvery) || !p.lastProbe.CompareAndSwap(last, now) {
+		return
+	}
+	if !p.probing.CompareAndSwap(false, true) {
+		return
+	}
+	p.probes.Add(1)
+	go func() {
+		defer p.probing.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), peerProbeTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/v1/healthz", nil)
+		if err != nil {
+			return
+		}
+		resp, err := pp.client.Do(req)
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			p.healthy.Store(true)
+		}
+	}()
+}
+
+// stats snapshots per-peer health and dispatch counters for healthz.
 func (pp *peerPool) stats() []peerDoc {
 	docs := make([]peerDoc, len(pp.peers))
 	for i, p := range pp.peers {
-		docs[i] = peerDoc{URL: p.base, Dispatched: p.dispatched.Load(), Failed: p.failed.Load()}
+		docs[i] = peerDoc{
+			URL:        p.base,
+			Healthy:    p.healthy.Load(),
+			Dispatched: p.dispatched.Load(),
+			Failed:     p.failed.Load(),
+			Skipped:    p.skipped.Load(),
+			Probes:     p.probes.Load(),
+		}
 	}
 	return docs
 }
@@ -110,12 +189,23 @@ const maxPeerResponse = 32 << 20
 // caller to fall back on; the peer API has no partial-success states.
 func (pp *peerPool) dispatch(ctx context.Context, path, id string, unit, out any) error {
 	p := pp.pick(id)
+	if p == nil {
+		return errNoHealthyPeer
+	}
 	err := pp.post(ctx, p, path, unit, out)
 	if err != nil {
 		p.failed.Add(1)
+		// Mark the peer unhealthy only when the failure is its own: a
+		// dispatch killed by the caller's context says nothing about
+		// the worker.
+		if ctx.Err() == nil {
+			p.lastProbe.Store(time.Now().UnixNano())
+			p.healthy.Store(false)
+		}
 		return err
 	}
 	p.dispatched.Add(1)
+	p.healthy.Store(true)
 	return nil
 }
 

@@ -29,13 +29,14 @@ type healthDoc struct {
 	GoVersion   string `json:"go"`
 	Experiments int    `json:"experiments"`
 
-	Cache cacheStats   `json:"cache"`
-	Store *store.Stats `json:"store,omitempty"` // absent without --store-dir
-	Peers []peerDoc    `json:"peers,omitempty"` // absent outside coordinator mode
+	Cache   cacheStats   `json:"cache"`
+	Cluster clusterStats `json:"cluster"`
+	Store   *store.Stats `json:"store,omitempty"` // absent without --store-dir
+	Peers   []peerDoc    `json:"peers,omitempty"` // absent outside coordinator mode
 }
 
 // handleHealthz serves readiness, build identity, and the cache /
-// store / per-peer dispatch counters.
+// cluster-session / store / per-peer dispatch counters.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	doc := healthDoc{
 		Status:      "ok",
@@ -44,6 +45,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		GoVersion:   runtime.Version(),
 		Experiments: len(netpart.Registry()),
 		Cache:       s.cache.stats(),
+		Cluster:     s.clusters.stats(),
 	}
 	if s.opts.Store != nil {
 		st := s.opts.Store.Stats()

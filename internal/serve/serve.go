@@ -111,6 +111,16 @@ type Options struct {
 	// PeerTimeout caps one peer point dispatch. Zero means
 	// DefaultPeerTimeout; negative means none.
 	PeerTimeout time.Duration
+
+	// ClusterSessions bounds concurrently open cluster sessions
+	// (their own admission axis — sessions are long-lived stateful
+	// resources, not flights). Zero means DefaultClusterSessions.
+	ClusterSessions int
+
+	// ClusterIdleTimeout is how long an untouched cluster session
+	// lives before the reaper aborts it. Zero means
+	// DefaultClusterIdleTimeout; negative disables reaping.
+	ClusterIdleTimeout time.Duration
 }
 
 // DefaultRunTimeout caps a single experiment run unless overridden.
@@ -123,17 +133,19 @@ var DefaultAdmission = map[netpart.Cost]int{
 	netpart.CostCheap:    16,
 	netpart.CostModerate: 4,
 	netpart.CostHeavy:    1,
+	costCluster:          4,
 }
 
 // Server is the HTTP serving subsystem. Construct with New, mount
 // via Handler, and stop with Shutdown.
 type Server struct {
-	opts  Options
-	sems  map[netpart.Cost]chan struct{}
-	cache *cache
-	jobs  *jobManager
-	peers *peerPool // nil outside coordinator mode
-	mux   *http.ServeMux
+	opts     Options
+	sems     map[netpart.Cost]chan struct{}
+	cache    *cache
+	jobs     *jobManager
+	clusters *clusterManager
+	peers    *peerPool // nil outside coordinator mode
+	mux      *http.ServeMux
 }
 
 // New returns a Server over the built-in experiment registry.
@@ -149,7 +161,7 @@ func newServer(opts Options, run runFunc) *Server {
 		opts.RunTimeout = DefaultRunTimeout
 	}
 	s := &Server{opts: opts, sems: map[netpart.Cost]chan struct{}{}}
-	for _, cost := range []netpart.Cost{netpart.CostCheap, netpart.CostModerate, netpart.CostHeavy} {
+	for _, cost := range []netpart.Cost{netpart.CostCheap, netpart.CostModerate, netpart.CostHeavy, costCluster} {
 		n, ok := opts.Admission[cost]
 		if !ok {
 			n = DefaultAdmission[cost]
@@ -168,6 +180,7 @@ func newServer(opts Options, run runFunc) *Server {
 	}
 	s.cache = newCache(run, timeout, opts.Store)
 	s.jobs = newJobManager(s.cache)
+	s.clusters = newClusterManager(opts.ClusterSessions, opts.ClusterIdleTimeout)
 	if len(opts.Peers) > 0 {
 		s.peers = newPeerPool(opts.Peers, opts.PeerTimeout)
 	}
@@ -189,6 +202,11 @@ func newServer(opts Options, run runFunc) *Server {
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/traces/{id}", s.handleTraceCancel)
 	s.mux.HandleFunc("GET /v1/traces/{id}/events", s.handleEvents(JobTrace))
+	s.mux.HandleFunc("POST /v1/cluster", s.handleClusterOpen)
+	s.mux.HandleFunc("GET /v1/cluster/{id}", s.handleClusterGet)
+	s.mux.HandleFunc("DELETE /v1/cluster/{id}", s.handleClusterClose)
+	s.mux.HandleFunc("POST /v1/cluster/{id}/jobs", s.handleClusterJobs)
+	s.mux.HandleFunc("GET /v1/cluster/{id}/events", s.handleClusterEvents)
 	s.mux.HandleFunc("GET /v1/archive", s.handleArchiveList)
 	s.mux.HandleFunc("GET /v1/archive/{hash}", s.handleArchiveReplay)
 	s.mux.HandleFunc("POST /v1/peer/scenarios", s.handlePeerScenario)
@@ -199,16 +217,22 @@ func newServer(opts Options, run runFunc) *Server {
 // Handler returns the HTTP handler serving the /v1 API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the job manager: no new submissions are accepted
-// (503), in-flight runs get until ctx expires to finish, and
-// stragglers are canceled. Outstanding write-behind persists are
-// waited for (local disk writes, not bounded by ctx) so a graceful
-// restart warm-starts with every completed result. Callers should
-// stop the http.Server first so no new requests race the drain.
+// Shutdown drains the job manager and the cluster sessions: no new
+// submissions are accepted (503), in-flight runs get until ctx
+// expires to finish, open cluster sessions drain their remaining
+// schedules to completion, and stragglers are canceled. Outstanding
+// write-behind persists are waited for (local disk writes, not
+// bounded by ctx) so a graceful restart warm-starts with every
+// completed result. Callers should stop the http.Server first so no
+// new requests race the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.jobs.drain(ctx)
+	cerr := s.clusters.drain(ctx)
 	s.cache.persists.Wait()
-	return err
+	if err != nil {
+		return err
+	}
+	return cerr
 }
 
 // acquire takes an admission slot for the given cost class, honoring

@@ -35,7 +35,7 @@ import (
 // Meta is the experiment descriptor persisted alongside a result's
 // encodings, enough to list an archive entry without decoding bodies.
 type Meta struct {
-	Experiment string `json:"experiment"`      // experiment / dynamic ID
+	Experiment string `json:"experiment"` // experiment / dynamic ID
 	Title      string `json:"title"`
 	Kind       string `json:"kind"`
 	Cost       string `json:"cost"`
