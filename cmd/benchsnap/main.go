@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchsnap [-bench 'BenchmarkSweep|BenchmarkScenario|BenchmarkTrace|BenchmarkCluster|BenchmarkStore|BenchmarkArchive']
+//	benchsnap [-bench 'BenchmarkSweep|BenchmarkScenario|BenchmarkTrace|BenchmarkCluster|BenchmarkStore|BenchmarkArchive|BenchmarkMetrics']
 //	          [-benchtime 100ms] [-count 3] [-out BENCH_sweep.json] [packages ...]
 //
 // Packages default to the repository root plus the store and serve
@@ -69,7 +69,7 @@ type snapshot struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	bench := flag.String("bench", "BenchmarkSweep|BenchmarkScenario|BenchmarkTrace|BenchmarkCluster|BenchmarkStore|BenchmarkArchive", "benchmark selection regexp (go test -bench)")
+	bench := flag.String("bench", "BenchmarkSweep|BenchmarkScenario|BenchmarkTrace|BenchmarkCluster|BenchmarkStore|BenchmarkArchive|BenchmarkMetrics", "benchmark selection regexp (go test -bench)")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark time or iteration budget")
 	count := flag.Int("count", 3, "repetitions per benchmark")
 	out := flag.String("out", "BENCH_sweep.json", "output file (- for stdout)")

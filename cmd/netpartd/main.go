@@ -11,7 +11,9 @@
 //	         [-cheap 16] [-moderate 4] [-heavy 1] [-grace 30s]
 //	         [-store-dir DIR] [-store-max-bytes N]
 //	         [-peers http://h1:8080,http://h2:8080] [-peer-timeout 2m]
+//	         [-peer-probe 15s]
 //	         [-cluster-sessions 32] [-cluster-idle 10m]
+//	         [-log-format text|json] [-log-level info] [-pprof]
 //
 // With -store-dir, finished dynamic results (scenarios, sweeps,
 // traces) persist to a content-addressed blob store in DIR: the next
@@ -40,6 +42,19 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // in-flight jobs get -grace to finish, stragglers are canceled, and
 // outstanding store writes complete.
+//
+// Observability: GET /metrics serves the daemon's metric registry in
+// Prometheus text exposition format (request latency histograms,
+// admission queue waits, cache/store/peer/cluster counters), and
+// GET /v1/healthz embeds the same registry as JSON. Every request
+// carries an X-Netpart-Request-Id (honored when the client sends one,
+// generated otherwise), echoed on the response, attached to log
+// lines, and propagated to workers on coordinator dispatch — grep one
+// ID across a fleet's logs to follow one sweep. Logs are structured
+// (log/slog): -log-format picks text or json, -log-level the floor
+// (debug enables per-request access lines). -pprof mounts the
+// net/http/pprof handlers under /debug/pprof/ (off by default: the
+// profile endpoints are a diagnostic surface, not a public API).
 //
 // Quick tour:
 //
@@ -77,9 +92,11 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -104,11 +121,22 @@ func main() {
 	storeMax := flag.Int64("store-max-bytes", 0, "store byte budget, LRU-evicted past it (0 = unbounded)")
 	peers := flag.String("peers", "", "comma-separated worker base URLs; makes this daemon a coordinator")
 	peerTimeout := flag.Duration("peer-timeout", serve.DefaultPeerTimeout, "per-point peer dispatch deadline (0 disables)")
+	peerProbe := flag.Duration("peer-probe", serve.DefaultPeerProbeInterval, "re-probe interval for unhealthy peers")
 	clusterSessions := flag.Int("cluster-sessions", serve.DefaultClusterSessions, "max concurrently open cluster sessions")
 	clusterIdle := flag.Duration("cluster-idle", serve.DefaultClusterIdleTimeout, "reap cluster sessions untouched this long (0 disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn, or error (debug enables per-request access lines)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
-	log.SetPrefix("netpartd: ")
-	log.SetFlags(log.LstdFlags)
+	log, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netpartd:", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
 	if *runTimeout == 0 {
 		*runTimeout = -1 // flag 0 means no deadline; Options 0 means default
 	}
@@ -128,16 +156,18 @@ func main() {
 			netpart.CostHeavy:    *heavy,
 		},
 		PeerTimeout:        *peerTimeout,
+		PeerProbeInterval:  *peerProbe,
 		ClusterSessions:    *clusterSessions,
 		ClusterIdleTimeout: *clusterIdle,
+		Logger:             log,
 	}
 	if *storeDir != "" {
 		fs, err := store.OpenFS(*storeDir, *storeMax)
 		if err != nil {
-			log.Fatalf("store: %v", err)
+			fatal("store open failed", "dir", *storeDir, "err", err)
 		}
 		st := fs.Stats()
-		log.Printf("store: %s (%d blobs, %d bytes)", fs.Dir(), st.Entries, st.Bytes)
+		log.Info(fmt.Sprintf("store: %s (%d blobs, %d bytes)", fs.Dir(), st.Entries, st.Bytes))
 		opts.Store = fs
 	}
 	for _, p := range strings.Split(*peers, ",") {
@@ -146,20 +176,36 @@ func main() {
 		}
 	}
 	if len(opts.Peers) > 0 {
-		log.Printf("coordinator mode: %d peers", len(opts.Peers))
+		log.Info(fmt.Sprintf("coordinator mode: %d peers", len(opts.Peers)))
 	}
 
 	srv := serve.New(opts)
+	handler := srv.Handler()
+	if *pprofOn {
+		// Mount the profile handlers explicitly on a wrapper mux rather
+		// than importing net/http/pprof for its DefaultServeMux side
+		// effect: the daemon never serves DefaultServeMux, and the
+		// endpoints stay opt-in.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Info("pprof enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen failed", "addr", *addr, "err", err)
 	}
-	log.Printf("listening on %s (%d experiments registered)", ln.Addr(), len(netpart.Registry()))
+	log.Info(fmt.Sprintf("listening on %s (%d experiments registered)", ln.Addr(), len(netpart.Registry())))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -168,11 +214,11 @@ func main() {
 
 	select {
 	case err := <-done:
-		log.Fatalf("serve: %v", err)
+		fatal("serve failed", "err", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down (grace %s)", *grace)
+	log.Info("shutting down", "grace", grace.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	// Drain jobs and connections concurrently: an open SSE stream only
@@ -183,15 +229,41 @@ func main() {
 	go func() {
 		defer wg.Done()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
-			log.Printf("job drain: %v (stragglers canceled)", err)
+			log.Warn("job drain incomplete, stragglers canceled", "err", err)
 		}
 	}()
 	go func() {
 		defer wg.Done()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("http shutdown: %v", err)
+			log.Warn("http shutdown", "err", err)
 		}
 	}()
 	wg.Wait()
-	log.Print("bye")
+	log.Info("bye")
+}
+
+// newLogger builds the daemon logger from the -log-format and
+// -log-level flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, hopts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, hopts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }

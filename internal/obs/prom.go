@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format: families in registration order, series within a
+// family in sorted label order — deterministic output for a given set
+// of registered series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		sigs := f.sortedSignatures()
+		if len(sigs) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, sig := range sigs {
+			f.mu.Lock()
+			s := f.series[sig]
+			f.mu.Unlock()
+			f.writeSeries(bw, sig, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries renders one series (one line for counters and gauges,
+// the bucket/sum/count block for histograms).
+func (f *family) writeSeries(bw *bufio.Writer, sig string, s any) {
+	labels := labelString(f.labels, sig)
+	switch v := s.(type) {
+	case *Counter:
+		writeSample(bw, f.name, labels, "", strconv.FormatInt(v.Value(), 10))
+	case *Gauge:
+		writeSample(bw, f.name, labels, "", formatFloat(v.Value()))
+	case *funcSeries:
+		writeSample(bw, f.name, labels, "", formatFloat(v.fn()))
+	case *Histogram:
+		var cum int64
+		for i, bound := range v.bounds {
+			cum += v.counts[i].Load()
+			writeSample(bw, f.name+"_bucket", labels, `le="`+formatFloat(bound)+`"`, strconv.FormatInt(cum, 10))
+		}
+		cum += v.counts[len(v.bounds)].Load()
+		writeSample(bw, f.name+"_bucket", labels, `le="+Inf"`, strconv.FormatInt(cum, 10))
+		writeSample(bw, f.name+"_sum", labels, "", formatFloat(v.Sum()))
+		writeSample(bw, f.name+"_count", labels, "", strconv.FormatInt(v.Count(), 10))
+	}
+}
+
+// writeSample writes one exposition line, merging the series labels
+// with an optional extra label (the histogram le).
+func writeSample(bw *bufio.Writer, name, labels, extra, value string) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// labelString renders `k1="v1",k2="v2"` from the family's label keys
+// and a series signature.
+func labelString(keys []string, sig string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	values := strings.Split(sig, "\xff")
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// --- JSON snapshot (the healthz form) ---
+
+// SeriesSnapshot is one series in a registry snapshot. Counters and
+// gauges carry Value; histograms carry Count and Sum (bucket detail
+// stays on the Prometheus endpoint, where it is cheap to parse).
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Count  int64             `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a registry snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot returns the registry as a JSON-encodable document, in the
+// same deterministic order as the Prometheus exposition.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	var out []FamilySnapshot
+	for _, f := range r.snapshotFamilies() {
+		sigs := f.sortedSignatures()
+		if len(sigs) == 0 {
+			continue
+		}
+		fs := FamilySnapshot{Name: f.name, Type: f.typ}
+		for _, sig := range sigs {
+			f.mu.Lock()
+			s := f.series[sig]
+			f.mu.Unlock()
+			ss := SeriesSnapshot{Labels: labelMap(f.labels, sig)}
+			switch v := s.(type) {
+			case *Counter:
+				ss.Value = float64(v.Value())
+			case *Gauge:
+				ss.Value = v.Value()
+			case *funcSeries:
+				ss.Value = v.fn()
+			case *Histogram:
+				ss.Count = v.Count()
+				ss.Sum = v.Sum()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+func labelMap(keys []string, sig string) map[string]string {
+	if len(keys) == 0 {
+		return nil
+	}
+	values := strings.Split(sig, "\xff")
+	m := make(map[string]string, len(keys))
+	for i, k := range keys {
+		m[k] = values[i]
+	}
+	return m
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+)
+
+// Request tracing: every request entering the daemon gets an
+// X-Netpart-Request-Id (client-supplied and honored, or generated),
+// carried in the request context, echoed on the response, attached to
+// log lines, and propagated on coordinator→peer dispatch — so one
+// sweep's work units correlate across a fleet by grepping one ID.
+
+// RequestIDHeader is the HTTP header carrying the request ID.
+const RequestIDHeader = "X-Netpart-Request-Id"
+
+// maxRequestIDLen bounds an honored client-supplied ID; longer values
+// are replaced (an ID is a correlation token, not a payload channel).
+const maxRequestIDLen = 128
+
+// idPrefix is a per-process random prefix, so IDs from different
+// daemons in a fleet never collide; idSeq disambiguates within the
+// process.
+var (
+	idPrefix string
+	idSeq    atomic.Uint64
+)
+
+func init() {
+	var b [4]byte
+	rand.Read(b[:]) //nolint:errcheck // crypto/rand never fails post-Go 1.24
+	idPrefix = hex.EncodeToString(b[:])
+}
+
+// NewRequestID returns a fresh process-unique request ID.
+func NewRequestID() string {
+	return idPrefix + "-" + strconv.FormatUint(idSeq.Add(1), 16)
+}
+
+// ValidRequestID reports whether a client-supplied ID is safe to
+// honor: non-empty, bounded, and free of control characters (it ends
+// up in headers and log lines).
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x20 || id[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+type reqIDKey struct{}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"netpart/internal/bgq"
 	"netpart/internal/model"
@@ -22,6 +23,17 @@ import (
 // flow-level netsim rounds.
 var patternSecMemo sync.Map
 
+// memoHits/memoMisses instrument the memo: the hit rate is the
+// fraction of placement scores answered without a flow-level netsim
+// run, sampled by the observability layer at scrape time.
+var memoHits, memoMisses atomic.Uint64
+
+// MemoCounts returns the process-wide contention-memo hit and miss
+// counts since process start.
+func MemoCounts() (hits, misses uint64) {
+	return memoHits.Load(), memoMisses.Load()
+}
+
 // scorer computes placement-time contention dilation: the max-min
 // fair round time of a job's communication pattern on its placed
 // geometry, relative to the best geometry of the same size.
@@ -39,8 +51,10 @@ func newScorer(m *bgq.Machine) *scorer {
 func (sc *scorer) patternSec(geom torus.Shape, pattern string) (float64, error) {
 	key := geom.String() + "|" + pattern
 	if v, ok := patternSecMemo.Load(key); ok {
+		memoHits.Add(1)
 		return v.(float64), nil
 	}
+	memoMisses.Add(1)
 	// Length-1 dimensions carry no links; drop them so the torus is
 	// the real communication graph of the cuboid.
 	dims := make([]int, 0, len(geom))

@@ -4,9 +4,22 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"netpart/internal/bgq"
 )
+
+// stepperEvents counts scheduler actions (job starts and clock-advance
+// events) across every Stepper in the process — a cheap liveness and
+// throughput signal for the observability layer, sampled at scrape
+// time. Process-wide rather than per-Stepper so the serving layer can
+// expose it without threading a handle through every constructor.
+var stepperEvents atomic.Uint64
+
+// StepperEventsProcessed returns the process-wide count of scheduler
+// actions (starts, completions, boundary and arrival clock advances)
+// applied by all Steppers since process start.
+func StepperEventsProcessed() uint64 { return stepperEvents.Load() }
 
 // Stepper is the incremental form of the scheduling event loop: the
 // exact machinery of RunContext — FCFS head placement with EASY
@@ -221,6 +234,7 @@ func (st *Stepper) price(pl Placement) float64 {
 }
 
 func (st *Stepper) startJob(job Job, pl Placement, backfilled bool) {
+	stepperEvents.Add(1)
 	p := st.price(pl)
 	duration := st.jobDuration(job, pl) * p
 	alloc := Allocation{Job: job, Placement: pl, StartSec: st.now, EndSec: st.now + duration, Backfilled: backfilled}
@@ -404,6 +418,7 @@ func (st *Stepper) nextEvent() (kind, fi int, t float64) {
 // only clock moves — the top-of-loop applyDue and tryStart act on
 // them.
 func (st *Stepper) applyEvent(kind, fi int, t float64) {
+	stepperEvents.Add(1)
 	st.now = t
 	if kind != evFinish {
 		return

@@ -6,11 +6,13 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
 
 	"netpart"
+	"netpart/internal/obs"
 	"netpart/internal/store"
 )
 
@@ -223,6 +225,8 @@ type cache struct {
 	run     runFunc
 	timeout time.Duration // per-flight run deadline, 0 = none
 	store   store.Store   // persistent tier, nil = memory only
+	m       *serverMetrics
+	log     *slog.Logger
 
 	persists sync.WaitGroup // outstanding write-behind persists
 
@@ -230,14 +234,6 @@ type cache struct {
 	entries  map[Key]*entry
 	flights  map[Key]*flight
 	dynOrder []Key // dynamic keys in insertion order, for eviction
-
-	// Observability counters, guarded by mu.
-	hits        int64 // answered from a completed memory entry
-	storeHits   int64 // answered by restoring a persisted blob
-	misses      int64 // flights started (actual computations)
-	coalesced   int64 // waiters joining an existing flight
-	evictions   int64 // dynamic memory entries evicted
-	persistErrs int64 // write-behind persists that failed
 }
 
 // cacheStats is a point-in-time snapshot of the cache counters for
@@ -253,29 +249,42 @@ type cacheStats struct {
 	Evictions int64 `json:"evictions"`
 }
 
-func newCache(run runFunc, timeout time.Duration, st store.Store) *cache {
-	return &cache{
+func newCache(run runFunc, timeout time.Duration, st store.Store, m *serverMetrics, log *slog.Logger) *cache {
+	c := &cache{
 		run:     run,
 		timeout: timeout,
 		store:   st,
+		m:       m,
+		log:     log,
 		entries: map[Key]*entry{},
 		flights: map[Key]*flight{},
 	}
+	// Size gauges sample the maps under the cache lock at scrape time;
+	// the event counters live on serverMetrics and update atomically.
+	m.reg.GaugeFunc("netpart_cache_entries", "Completed results held in memory.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(len(c.entries)) })
+	m.reg.GaugeFunc("netpart_cache_dynamic_entries", "Dynamic (evictable) results held in memory.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(len(c.dynOrder)) })
+	m.reg.GaugeFunc("netpart_cache_flights", "Computations currently in flight.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(len(c.flights)) })
+	return c
 }
 
-// stats snapshots the cache counters.
+// stats snapshots the cache counters for the healthz document, read
+// back from the same metrics /metrics exposes.
 func (c *cache) stats() cacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	entries, dynamic, flights := len(c.entries), len(c.dynOrder), len(c.flights)
+	c.mu.Unlock()
 	return cacheStats{
-		Entries:   len(c.entries),
-		Dynamic:   len(c.dynOrder),
-		Flights:   len(c.flights),
-		Hits:      c.hits,
-		StoreHits: c.storeHits,
-		Misses:    c.misses,
-		Coalesced: c.coalesced,
-		Evictions: c.evictions,
+		Entries:   entries,
+		Dynamic:   dynamic,
+		Flights:   flights,
+		Hits:      c.m.cacheHits.Value(),
+		StoreHits: c.m.cacheStoreHits.Value(),
+		Misses:    c.m.cacheMisses.Value(),
+		Coalesced: c.m.cacheCoalesced.Value(),
+		Evictions: c.m.cacheEvictions.Value(),
 	}
 }
 
@@ -295,7 +304,7 @@ func (c *cache) insertEntryLocked(key Key, e *entry) {
 		for len(c.dynOrder) > maxDynamicEntries {
 			delete(c.entries, c.dynOrder[0])
 			c.dynOrder = c.dynOrder[1:]
-			c.evictions++
+			c.m.cacheEvictions.Inc()
 		}
 	}
 	c.entries[key] = e
@@ -320,7 +329,7 @@ func (c *cache) restore(key Key) (*entry, bool) {
 		return cur, true // racer won with equivalent bytes
 	}
 	c.insertEntryLocked(key, e)
-	c.storeHits++
+	c.m.cacheStoreHits.Inc()
 	return e, true
 }
 
@@ -329,7 +338,7 @@ func (c *cache) restore(key Key) (*entry, bool) {
 func (c *cache) replay(key Key) (*entry, bool) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		c.hits++
+		c.m.cacheHits.Inc()
 		c.mu.Unlock()
 		return e, true
 	}
@@ -367,7 +376,7 @@ func (c *cache) evict(key Key) {
 func (c *cache) do(ctx context.Context, key Key, opts netpart.RunOptions, payload any, onEvent func(streamEvent)) (*entry, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		c.hits++
+		c.m.cacheHits.Inc()
 		c.mu.Unlock()
 		return e, nil
 	}
@@ -383,14 +392,18 @@ func (c *cache) do(ctx context.Context, key Key, opts netpart.RunOptions, payloa
 		}
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
-			c.hits++
+			c.m.cacheHits.Inc()
 			c.mu.Unlock()
 			return e, nil
 		}
 		f, ok = c.flights[key]
 	}
 	if !ok {
-		fctx := context.Background()
+		// The flight context is detached from any single request (late
+		// joiners must not inherit the leader's deadline) but carries
+		// the leader's request ID, so the work a request triggered —
+		// including peer dispatches — stays traceable to it.
+		fctx := obs.WithRequestID(context.Background(), obs.RequestIDFrom(ctx))
 		var cancel context.CancelFunc
 		if c.timeout > 0 {
 			fctx, cancel = context.WithTimeout(fctx, c.timeout)
@@ -405,10 +418,10 @@ func (c *cache) do(ctx context.Context, key Key, opts netpart.RunOptions, payloa
 			subs:    map[int]func(streamEvent){},
 		}
 		c.flights[key] = f
-		c.misses++
+		c.m.cacheMisses.Inc()
 		go c.runFlight(f, fctx, opts)
 	} else {
-		c.coalesced++
+		c.m.cacheCoalesced.Inc()
 	}
 	f.waiters++
 	c.mu.Unlock()
@@ -501,8 +514,9 @@ func (c *cache) persist(key Key, e *entry) {
 		})
 	}
 	if len(blob.Encodings) == 0 || c.store.Put(blob) != nil {
-		c.mu.Lock()
-		c.persistErrs++
-		c.mu.Unlock()
+		c.m.cachePersistErrs.Inc()
+		c.log.Warn("write-behind persist failed", "key", key.String())
+		return
 	}
+	c.m.cachePersists.Inc()
 }

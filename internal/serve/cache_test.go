@@ -19,7 +19,7 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 	key := Key{ID: "table5"}
 	var calls atomic.Int32
 	release := make(chan struct{})
-	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
+	c := newTestCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
 		calls.Add(1)
 		<-release
 		return fakeResult(k), nil
@@ -63,7 +63,7 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 func TestCacheErrorsAreNotCached(t *testing.T) {
 	var calls atomic.Int32
 	boom := errors.New("boom")
-	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
+	c := newTestCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
 		if calls.Add(1) == 1 {
 			return nil, boom
 		}
@@ -87,7 +87,7 @@ func TestCacheErrorsAreNotCached(t *testing.T) {
 func TestCacheLastWaiterCancelsRun(t *testing.T) {
 	key := Key{ID: "table6"}
 	g := newGate()
-	c := newCache(g.run, 0, nil)
+	c := newTestCache(g.run, 0, nil)
 
 	ctxA, cancelA := context.WithCancel(context.Background())
 	ctxB, cancelB := context.WithCancel(context.Background())
@@ -143,7 +143,7 @@ func TestCacheLastWaiterCancelsRun(t *testing.T) {
 // TestCacheRunTimeout: a flight exceeding the cache's run timeout
 // fails with DeadlineExceeded and is not cached.
 func TestCacheRunTimeout(t *testing.T) {
-	c := newCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
+	c := newTestCache(func(ctx context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}, 10*time.Millisecond, nil)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"netpart"
+	"netpart/internal/obs"
 	"netpart/internal/sched"
 	"netpart/internal/sched/cluster"
 )
@@ -55,6 +56,10 @@ type clusterSession struct {
 	sess *cluster.Session
 	done chan struct{} // closed when the session ends (close or reap)
 
+	events  *obs.CounterVec // engine events by kind (shared family)
+	drops   *obs.Counter    // shared dropped-frame counter, "cluster" stream
+	dropped atomic.Int64    // this session's drops, for its snapshot doc
+
 	mu    sync.Mutex
 	last  time.Time // last API touch, for the idle reaper
 	subs  map[int]chan streamEvent
@@ -74,6 +79,9 @@ func (cs *clusterSession) touch() {
 // monitor, the final metrics are the record). Called from the
 // session's OnEvent, so events arrive in simulation-time order.
 func (cs *clusterSession) publish(ev streamEvent) {
+	if e, ok := ev.data.(cluster.Event); ok {
+		cs.events.With(e.Kind).Inc()
+	}
 	cs.mu.Lock()
 	chans := make([]chan streamEvent, 0, len(cs.subs))
 	for _, ch := range cs.subs {
@@ -84,6 +92,8 @@ func (cs *clusterSession) publish(ev streamEvent) {
 		select {
 		case ch <- ev:
 		default:
+			cs.drops.Inc()
+			cs.dropped.Add(1)
 		}
 	}
 }
@@ -118,12 +128,10 @@ type clusterStats struct {
 // clusterManager owns the open sessions: identity, the session-count
 // admission bound, idle reaping and graceful drain.
 type clusterManager struct {
-	max  int
-	idle time.Duration
-	stop chan struct{}
-
-	submitted atomic.Int64
-	reaped    atomic.Int64
+	max     int
+	idle    time.Duration
+	stop    chan struct{}
+	metrics *serverMetrics
 
 	mu       sync.Mutex
 	sessions map[string]*clusterSession
@@ -131,7 +139,7 @@ type clusterManager struct {
 	closed   bool
 }
 
-func newClusterManager(max int, idle time.Duration) *clusterManager {
+func newClusterManager(max int, idle time.Duration, sm *serverMetrics) *clusterManager {
 	if max <= 0 {
 		max = DefaultClusterSessions
 	}
@@ -141,7 +149,9 @@ func newClusterManager(max int, idle time.Duration) *clusterManager {
 	if idle < 0 {
 		idle = 0 // disabled
 	}
-	m := &clusterManager{max: max, idle: idle, stop: make(chan struct{}), sessions: map[string]*clusterSession{}}
+	m := &clusterManager{max: max, idle: idle, stop: make(chan struct{}), metrics: sm, sessions: map[string]*clusterSession{}}
+	sm.reg.GaugeFunc("netpart_cluster_sessions_active", "Currently open cluster sessions.",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return float64(len(m.sessions)) })
 	if idle > 0 {
 		go m.reaper()
 	}
@@ -173,7 +183,7 @@ func (m *clusterManager) reaper() {
 				if expired && m.remove(cs.ID) != nil {
 					cs.sess.Abort()
 					close(cs.done)
-					m.reaped.Add(1)
+					m.metrics.clusterReaped.Inc()
 				}
 			}
 		}
@@ -195,10 +205,12 @@ func (m *clusterManager) open(spec cluster.Spec) (*clusterSession, error) {
 	}
 	m.seq++
 	cs := &clusterSession{
-		ID:   fmt.Sprintf("cluster-%06d", m.seq),
-		done: make(chan struct{}),
-		last: time.Now(),
-		subs: map[int]chan streamEvent{},
+		ID:     fmt.Sprintf("cluster-%06d", m.seq),
+		done:   make(chan struct{}),
+		events: m.metrics.clusterEvents,
+		drops:  m.metrics.dropped.With("cluster"),
+		last:   time.Now(),
+		subs:   map[int]chan streamEvent{},
 	}
 	sess, err := cluster.Open(spec, cluster.SessionOptions{
 		OnEvent: func(ev cluster.Event) {
@@ -246,15 +258,16 @@ func (m *clusterManager) snapshot() []*clusterSession {
 	return out
 }
 
-// stats snapshots the healthz counters.
+// stats snapshots the healthz counters, read back from the same
+// metrics /metrics exposes.
 func (m *clusterManager) stats() clusterStats {
 	m.mu.Lock()
 	active := len(m.sessions)
 	m.mu.Unlock()
 	return clusterStats{
 		ActiveSessions: active,
-		JobsSubmitted:  m.submitted.Load(),
-		SessionsReaped: m.reaped.Load(),
+		JobsSubmitted:  m.metrics.clusterJobs.Value(),
+		SessionsReaped: m.metrics.clusterReaped.Value(),
 	}
 }
 
@@ -294,22 +307,27 @@ func (m *clusterManager) drain(ctx context.Context) error {
 
 // --- wire documents ---
 
-// clusterDoc is a session resource on the wire.
+// clusterDoc is a session resource on the wire. DroppedFrames is the
+// count of SSE frames this session's lossy fan-out has shed — a
+// consumer seeing gaps in the event stream can confirm (and quantify)
+// the loss here.
 type clusterDoc struct {
-	ID       string            `json:"id"`
-	Title    string            `json:"title"`
-	Spec     cluster.Spec      `json:"spec"`
-	Snapshot cluster.Snapshot  `json:"snapshot"`
-	Links    map[string]string `json:"links"`
+	ID            string            `json:"id"`
+	Title         string            `json:"title"`
+	Spec          cluster.Spec      `json:"spec"`
+	Snapshot      cluster.Snapshot  `json:"snapshot"`
+	DroppedFrames int64             `json:"dropped_frames"`
+	Links         map[string]string `json:"links"`
 }
 
 func clusterDocFor(cs *clusterSession, snap cluster.Snapshot) clusterDoc {
 	path := "/v1/cluster/" + cs.ID
 	return clusterDoc{
-		ID:       cs.ID,
-		Title:    cs.spec.Title(),
-		Spec:     cs.spec,
-		Snapshot: snap,
+		ID:            cs.ID,
+		Title:         cs.spec.Title(),
+		Spec:          cs.spec,
+		Snapshot:      snap,
+		DroppedFrames: cs.dropped.Load(),
 		Links: map[string]string{
 			"self":   path,
 			"jobs":   path + "/jobs",
@@ -396,7 +414,7 @@ func (s *Server) handleClusterJobs(w http.ResponseWriter, r *http.Request) {
 		writeClusterError(w, err)
 		return
 	}
-	s.clusters.submitted.Add(int64(rec.Accepted))
+	s.metrics.clusterJobs.Add(int64(rec.Accepted))
 	cs.touch()
 	writeJSON(w, http.StatusOK, rec)
 }

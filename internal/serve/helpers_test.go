@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,7 +15,14 @@ import (
 	"time"
 
 	"netpart"
+	"netpart/internal/store"
 )
+
+// newTestCache builds a cache with a private metrics registry and a
+// silent logger, for tests exercising the cache directly.
+func newTestCache(run runFunc, timeout time.Duration, st store.Store) *cache {
+	return newCache(run, timeout, st, newServerMetrics(nil), slog.New(slog.NewTextHandler(io.Discard, nil)))
+}
 
 // realServer boots an httptest server over the real registry.
 func realServer(t *testing.T, opts Options) (*Server, *httptest.Server) {

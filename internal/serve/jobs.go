@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"netpart"
+	"netpart/internal/obs"
 )
 
 // Status is a job's lifecycle state.
@@ -52,6 +53,7 @@ type Job struct {
 
 	cancel context.CancelFunc
 	done   chan struct{} // closed on terminal status
+	drops  *obs.Counter  // frames dropped by this job's lossy fan-out
 
 	mu       sync.Mutex
 	status   Status
@@ -117,6 +119,7 @@ func (j *Job) publish(ev streamEvent) {
 		select {
 		case ch <- ev:
 		default:
+			j.drops.Inc() // lossy by design; the drop is still counted
 		}
 	}
 }
@@ -212,8 +215,10 @@ func (m *jobManager) pruneLocked() {
 // submit creates a job and starts it asynchronously. For registry
 // runs (JobRun) the key derives from the experiment and options; for
 // sweeps (JobSweep) the caller supplies the content-hash key and the
-// parsed definition as payload.
-func (m *jobManager) submit(kind string, exp netpart.Experiment, key Key, opts netpart.RunOptions, payload any) (*Job, error) {
+// parsed definition as payload. reqID is the submitting request's ID;
+// the job's context carries it (detached from the request's deadline)
+// so the asynchronous work stays traceable to the submission.
+func (m *jobManager) submit(kind string, exp netpart.Experiment, key Key, opts netpart.RunOptions, payload any, reqID string) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -221,7 +226,7 @@ func (m *jobManager) submit(kind string, exp netpart.Experiment, key Key, opts n
 	}
 	m.seq++
 	id := fmt.Sprintf("%s-%06d", kind, m.seq)
-	ctx, cancel := context.WithCancel(m.baseCtx)
+	ctx, cancel := context.WithCancel(obs.WithRequestID(m.baseCtx, reqID))
 	job := &Job{
 		ID:         id,
 		Kind:       kind,
@@ -231,6 +236,7 @@ func (m *jobManager) submit(kind string, exp netpart.Experiment, key Key, opts n
 		Created:    time.Now(),
 		cancel:     cancel,
 		done:       make(chan struct{}),
+		drops:      m.cache.m.dropped.With(kind),
 		status:     StatusRunning,
 		subs:       map[int]chan streamEvent{},
 	}

@@ -8,12 +8,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"netpart"
+	"netpart/internal/obs"
 )
 
 // Distributed grid fan-out: a netpartd started with --peers becomes a
@@ -54,23 +56,29 @@ const DefaultPeerProbeInterval = 15 * time.Second
 const peerProbeTimeout = 5 * time.Second
 
 // peer is one worker endpoint plus its health state and dispatch
-// counters.
+// counters. The counters are obs metrics (labeled by peer URL); the
+// health flags stay plain atomics and are sampled into gauges at
+// scrape time.
 type peer struct {
 	base string // e.g. "http://10.0.0.7:8080"
 
-	healthy    atomic.Bool  // skip the peer in pick while false
-	lastProbe  atomic.Int64 // unix nanos of the last probe (or failure)
-	probing    atomic.Bool  // one in-flight probe at a time
-	dispatched atomic.Int64 // points successfully executed remotely
-	failed     atomic.Int64 // dispatch attempts that fell back to local
-	skipped    atomic.Int64 // picks that walked past this peer while unhealthy
-	probes     atomic.Int64 // health re-probes issued
+	healthy   atomic.Bool  // skip the peer in pick while false
+	lastProbe atomic.Int64 // unix nanos of the last probe (or failure)
+	probing   atomic.Bool  // one in-flight probe at a time
+
+	dispatched *obs.Counter // points successfully executed remotely
+	failed     *obs.Counter // dispatch attempts that fell back to local
+	skipped    *obs.Counter // picks that walked past this peer while unhealthy
+	probes     *obs.Counter // health re-probes issued
 }
 
-// peerDoc is a peer's healthz representation.
+// peerDoc is a peer's healthz representation. LastProbe is the RFC
+// 3339 time of the last health probe or dispatch failure, empty while
+// the peer has never needed one.
 type peerDoc struct {
 	URL        string `json:"url"`
 	Healthy    bool   `json:"healthy"`
+	LastProbe  string `json:"last_probe,omitempty"`
 	Dispatched int64  `json:"dispatched"`
 	Failed     int64  `json:"failed"`
 	Skipped    int64  `json:"skipped"`
@@ -83,19 +91,42 @@ type peerPool struct {
 	client     *http.Client
 	timeout    time.Duration
 	probeEvery time.Duration
+	log        *slog.Logger
 }
 
-func newPeerPool(urls []string, timeout time.Duration) *peerPool {
+func newPeerPool(urls []string, timeout, probeEvery time.Duration, m *serverMetrics, log *slog.Logger) *peerPool {
 	if timeout == 0 {
 		timeout = DefaultPeerTimeout
 	}
 	if timeout < 0 {
 		timeout = 0
 	}
-	pp := &peerPool{client: &http.Client{}, timeout: timeout, probeEvery: DefaultPeerProbeInterval}
+	if probeEvery <= 0 {
+		probeEvery = DefaultPeerProbeInterval
+	}
+	pp := &peerPool{client: &http.Client{}, timeout: timeout, probeEvery: probeEvery, log: log}
+	dispatched := m.reg.CounterVec("netpart_peer_dispatched_total", "Points successfully executed remotely, by peer.", "peer")
+	failed := m.reg.CounterVec("netpart_peer_failed_total", "Peer dispatch attempts that fell back to local execution, by peer.", "peer")
+	skipped := m.reg.CounterVec("netpart_peer_skipped_total", "Ring-walk picks that passed over an unhealthy peer, by peer.", "peer")
+	probes := m.reg.CounterVec("netpart_peer_probes_total", "Health re-probes issued, by peer.", "peer")
 	for _, u := range urls {
-		p := &peer{base: u}
+		p := &peer{
+			base:       u,
+			dispatched: dispatched.With(u),
+			failed:     failed.With(u),
+			skipped:    skipped.With(u),
+			probes:     probes.With(u),
+		}
 		p.healthy.Store(true) // innocent until a dispatch fails
+		m.reg.GaugeFunc("netpart_peer_healthy", "1 while the peer is in the dispatch ring, 0 while skipped.",
+			func() float64 {
+				if p.healthy.Load() {
+					return 1
+				}
+				return 0
+			}, "peer", u)
+		m.reg.GaugeFunc("netpart_peer_last_probe_timestamp_seconds", "Unix time of the last health probe or dispatch failure (0 = never).",
+			func() float64 { return float64(p.lastProbe.Load()) / 1e9 }, "peer", u)
 		pp.peers = append(pp.peers, p)
 	}
 	return pp
@@ -124,7 +155,7 @@ func (pp *peerPool) pick(id string) *peer {
 		if p.healthy.Load() {
 			return p
 		}
-		p.skipped.Add(1)
+		p.skipped.Inc()
 		pp.maybeProbe(p)
 	}
 	return nil
@@ -142,7 +173,7 @@ func (pp *peerPool) maybeProbe(p *peer) {
 	if !p.probing.CompareAndSwap(false, true) {
 		return
 	}
-	p.probes.Add(1)
+	p.probes.Inc()
 	go func() {
 		defer p.probing.Store(false)
 		ctx, cancel := context.WithTimeout(context.Background(), peerProbeTimeout)
@@ -159,6 +190,7 @@ func (pp *peerPool) maybeProbe(p *peer) {
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusOK {
 			p.healthy.Store(true)
+			pp.log.Info("peer restored", "peer", p.base)
 		}
 	}()
 }
@@ -170,10 +202,13 @@ func (pp *peerPool) stats() []peerDoc {
 		docs[i] = peerDoc{
 			URL:        p.base,
 			Healthy:    p.healthy.Load(),
-			Dispatched: p.dispatched.Load(),
-			Failed:     p.failed.Load(),
-			Skipped:    p.skipped.Load(),
-			Probes:     p.probes.Load(),
+			Dispatched: p.dispatched.Value(),
+			Failed:     p.failed.Value(),
+			Skipped:    p.skipped.Value(),
+			Probes:     p.probes.Value(),
+		}
+		if ns := p.lastProbe.Load(); ns != 0 {
+			docs[i].LastProbe = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
 		}
 	}
 	return docs
@@ -194,17 +229,20 @@ func (pp *peerPool) dispatch(ctx context.Context, path, id string, unit, out any
 	}
 	err := pp.post(ctx, p, path, unit, out)
 	if err != nil {
-		p.failed.Add(1)
+		p.failed.Inc()
 		// Mark the peer unhealthy only when the failure is its own: a
 		// dispatch killed by the caller's context says nothing about
 		// the worker.
 		if ctx.Err() == nil {
 			p.lastProbe.Store(time.Now().UnixNano())
-			p.healthy.Store(false)
+			if p.healthy.CompareAndSwap(true, false) {
+				pp.log.Warn("peer marked unhealthy", "peer", p.base, "error", err,
+					"request_id", obs.RequestIDFrom(ctx))
+			}
 		}
 		return err
 	}
-	p.dispatched.Add(1)
+	p.dispatched.Inc()
 	p.healthy.Store(true)
 	return nil
 }
@@ -224,6 +262,11 @@ func (pp *peerPool) post(ctx context.Context, p *peer, path string, unit, out an
 		return err
 	}
 	req.Header.Set("Content-Type", ctJSON)
+	// Propagate the originating request's ID so the worker's logs and
+	// response carry the coordinator's correlation token.
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	resp, err := pp.client.Do(req)
 	if err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 	"runtime/debug"
 
 	"netpart"
+	"netpart/internal/obs"
 	"netpart/internal/route"
 	"netpart/internal/scenario"
 	"netpart/internal/scenario/sweep"
@@ -33,6 +34,12 @@ type healthDoc struct {
 	Cluster clusterStats `json:"cluster"`
 	Store   *store.Stats `json:"store,omitempty"` // absent without --store-dir
 	Peers   []peerDoc    `json:"peers,omitempty"` // absent outside coordinator mode
+
+	// Metrics is the full registry snapshot — every family /metrics
+	// exposes, in the same order, as JSON. The legacy cache / cluster /
+	// store / peer blocks above read from the same underlying metrics,
+	// so the two views can never disagree.
+	Metrics []obs.FamilySnapshot `json:"metrics"`
 }
 
 // handleHealthz serves readiness, build identity, and the cache /
@@ -46,6 +53,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Experiments: len(netpart.Registry()),
 		Cache:       s.cache.stats(),
 		Cluster:     s.clusters.stats(),
+		Metrics:     s.metrics.reg.Snapshot(),
 	}
 	if s.opts.Store != nil {
 		st := s.opts.Store.Stats()
@@ -172,7 +180,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		Kind:  netpart.KindTable,
 		Cost:  netpart.Cost(sweep.Cost(points)),
 	}
-	job, err := s.jobs.submit(JobSweep, exp, Key{ID: exp.ID}, netpart.RunOptions{}, &sweepTask{grid: grid, points: points})
+	job, err := s.jobs.submit(JobSweep, exp, Key{ID: exp.ID}, netpart.RunOptions{}, &sweepTask{grid: grid, points: points}, obs.RequestIDFrom(r.Context()))
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return

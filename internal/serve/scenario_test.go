@@ -441,7 +441,7 @@ func TestSweepCancelEndpoint(t *testing.T) {
 // TestDynamicCacheEviction: dynamic (scenario/sweep) entries are
 // bounded; registry entries are never evicted.
 func TestDynamicCacheEviction(t *testing.T) {
-	c := newCache(func(_ context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
+	c := newTestCache(func(_ context.Context, k Key, _ netpart.RunOptions, _ any, _ func(streamEvent)) (*netpart.Result, error) {
 		return fakeResult(k), nil
 	}, 0, nil)
 	reg := Key{ID: "table1"}

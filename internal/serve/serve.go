@@ -58,12 +58,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"netpart"
+	"netpart/internal/obs"
 	"netpart/internal/store"
 )
 
@@ -121,6 +123,21 @@ type Options struct {
 	// lives before the reaper aborts it. Zero means
 	// DefaultClusterIdleTimeout; negative disables reaping.
 	ClusterIdleTimeout time.Duration
+
+	// PeerProbeInterval is how long a peer marked unhealthy stays
+	// unprobed before a request is risked on it again. Zero means
+	// DefaultPeerProbeInterval.
+	PeerProbeInterval time.Duration
+
+	// Metrics, when non-nil, is the registry the server registers its
+	// metrics in (shared with /metrics exposition outside this
+	// package). Nil means a fresh private registry.
+	Metrics *obs.Registry
+
+	// Logger, when non-nil, receives the server's structured logs
+	// (access lines, peer health transitions, persist failures). Nil
+	// means slog.Default().
+	Logger *slog.Logger
 }
 
 // DefaultRunTimeout caps a single experiment run unless overridden.
@@ -146,6 +163,13 @@ type Server struct {
 	clusters *clusterManager
 	peers    *peerPool // nil outside coordinator mode
 	mux      *http.ServeMux
+	metrics  *serverMetrics
+	log      *slog.Logger
+
+	// Admission instruments, resolved per class at construction so
+	// acquire never takes the registry lock.
+	admWait map[netpart.Cost]*obs.Histogram
+	admHeld map[netpart.Cost]*obs.Gauge
 }
 
 // New returns a Server over the built-in experiment registry.
@@ -160,7 +184,17 @@ func newServer(opts Options, run runFunc) *Server {
 	if opts.RunTimeout == 0 {
 		opts.RunTimeout = DefaultRunTimeout
 	}
-	s := &Server{opts: opts, sems: map[netpart.Cost]chan struct{}{}}
+	s := &Server{
+		opts:    opts,
+		sems:    map[netpart.Cost]chan struct{}{},
+		metrics: newServerMetrics(opts.Metrics),
+		log:     opts.Logger,
+		admWait: map[netpart.Cost]*obs.Histogram{},
+		admHeld: map[netpart.Cost]*obs.Gauge{},
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
 	for _, cost := range []netpart.Cost{netpart.CostCheap, netpart.CostModerate, netpart.CostHeavy, costCluster} {
 		n, ok := opts.Admission[cost]
 		if !ok {
@@ -170,6 +204,8 @@ func newServer(opts Options, run runFunc) *Server {
 			n = 1
 		}
 		s.sems[cost] = make(chan struct{}, n)
+		s.admWait[cost] = s.metrics.admissionWait.With(string(cost))
+		s.admHeld[cost] = s.metrics.admissionHeld.With(string(cost))
 	}
 	if run == nil {
 		run = s.runTask
@@ -178,41 +214,50 @@ func newServer(opts Options, run runFunc) *Server {
 	if timeout < 0 {
 		timeout = 0
 	}
-	s.cache = newCache(run, timeout, opts.Store)
+	s.cache = newCache(run, timeout, opts.Store, s.metrics, s.log)
 	s.jobs = newJobManager(s.cache)
-	s.clusters = newClusterManager(opts.ClusterSessions, opts.ClusterIdleTimeout)
+	s.clusters = newClusterManager(opts.ClusterSessions, opts.ClusterIdleTimeout, s.metrics)
 	if len(opts.Peers) > 0 {
-		s.peers = newPeerPool(opts.Peers, opts.PeerTimeout)
+		s.peers = newPeerPool(opts.Peers, opts.PeerTimeout, opts.PeerProbeInterval, s.metrics, s.log)
+	}
+	if opts.Store != nil {
+		s.metrics.registerStoreMetrics(opts.Store)
 	}
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	s.mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleSyncResult)
-	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
-	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents(JobRun))
-	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenario)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
-	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents(JobSweep))
-	s.mux.HandleFunc("POST /v1/traces", s.handleTraceSubmit)
-	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
-	s.mux.HandleFunc("DELETE /v1/traces/{id}", s.handleTraceCancel)
-	s.mux.HandleFunc("GET /v1/traces/{id}/events", s.handleEvents(JobTrace))
-	s.mux.HandleFunc("POST /v1/cluster", s.handleClusterOpen)
-	s.mux.HandleFunc("GET /v1/cluster/{id}", s.handleClusterGet)
-	s.mux.HandleFunc("DELETE /v1/cluster/{id}", s.handleClusterClose)
-	s.mux.HandleFunc("POST /v1/cluster/{id}/jobs", s.handleClusterJobs)
-	s.mux.HandleFunc("GET /v1/cluster/{id}/events", s.handleClusterEvents)
-	s.mux.HandleFunc("GET /v1/archive", s.handleArchiveList)
-	s.mux.HandleFunc("GET /v1/archive/{hash}", s.handleArchiveReplay)
-	s.mux.HandleFunc("POST /v1/peer/scenarios", s.handlePeerScenario)
-	s.mux.HandleFunc("POST /v1/peer/traces", s.handlePeerTrace)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /v1/healthz", s.handleHealthz)
+	s.handle("GET /v1/experiments", s.handleExperiments)
+	s.handle("GET /v1/experiments/{id}/result", s.handleSyncResult)
+	s.handle("POST /v1/runs", s.handleSubmit)
+	s.handle("GET /v1/runs/{id}", s.handleRun)
+	s.handle("DELETE /v1/runs/{id}", s.handleCancel)
+	s.handle("GET /v1/runs/{id}/events", s.handleEvents(JobRun))
+	s.handle("POST /v1/scenarios", s.handleScenario)
+	s.handle("POST /v1/sweeps", s.handleSweepSubmit)
+	s.handle("GET /v1/sweeps/{id}", s.handleSweep)
+	s.handle("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.handle("GET /v1/sweeps/{id}/events", s.handleEvents(JobSweep))
+	s.handle("POST /v1/traces", s.handleTraceSubmit)
+	s.handle("GET /v1/traces/{id}", s.handleTrace)
+	s.handle("DELETE /v1/traces/{id}", s.handleTraceCancel)
+	s.handle("GET /v1/traces/{id}/events", s.handleEvents(JobTrace))
+	s.handle("POST /v1/cluster", s.handleClusterOpen)
+	s.handle("GET /v1/cluster/{id}", s.handleClusterGet)
+	s.handle("DELETE /v1/cluster/{id}", s.handleClusterClose)
+	s.handle("POST /v1/cluster/{id}/jobs", s.handleClusterJobs)
+	s.handle("GET /v1/cluster/{id}/events", s.handleClusterEvents)
+	s.handle("GET /v1/archive", s.handleArchiveList)
+	s.handle("GET /v1/archive/{hash}", s.handleArchiveReplay)
+	s.handle("POST /v1/peer/scenarios", s.handlePeerScenario)
+	s.handle("POST /v1/peer/traces", s.handlePeerTrace)
 	return s
 }
+
+// Metrics returns the server's metrics registry (the one /metrics
+// exposes), for callers that want to register process-level metrics
+// alongside the server's.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 // Handler returns the HTTP handler serving the /v1 API.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -236,16 +281,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // acquire takes an admission slot for the given cost class, honoring
-// cancellation while queued.
+// cancellation while queued. The time spent queued — the admission
+// semaphore's contention — lands in the per-class wait histogram, and
+// held slots are gauged, so saturation is visible before it becomes
+// latency.
 func (s *Server) acquire(ctx context.Context, cost netpart.Cost) (release func(), err error) {
 	sem := s.sems[cost]
+	wait, held := s.admWait[cost], s.admHeld[cost]
 	if sem == nil { // unknown class: fall back to the heaviest bound
 		sem = s.sems[netpart.CostHeavy]
+		wait, held = s.admWait[netpart.CostHeavy], s.admHeld[netpart.CostHeavy]
 	}
+	start := time.Now()
 	select {
 	case sem <- struct{}{}:
-		return func() { <-sem }, nil
+		wait.Observe(time.Since(start).Seconds())
+		held.Add(1)
+		return func() { held.Add(-1); <-sem }, nil
 	case <-ctx.Done():
+		wait.Observe(time.Since(start).Seconds())
 		return nil, ctx.Err()
 	}
 }
@@ -621,7 +675,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	runOpts := netpart.RunOptions{Workers: req.Workers, FullRounds: req.FullRounds}
-	job, err := s.jobs.submit(JobRun, exp, keyFor(exp, runOpts), runOpts, nil)
+	job, err := s.jobs.submit(JobRun, exp, keyFor(exp, runOpts), runOpts, nil, obs.RequestIDFrom(r.Context()))
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return

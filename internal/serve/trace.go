@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"netpart"
+	"netpart/internal/obs"
 	"netpart/internal/sched/tracesim"
 )
 
@@ -91,7 +92,7 @@ func (s *Server) handleTraceSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		task = &traceTask{spec: &norm}
 	}
-	job, err := s.jobs.submit(JobTrace, exp, Key{ID: exp.ID}, netpart.RunOptions{}, task)
+	job, err := s.jobs.submit(JobTrace, exp, Key{ID: exp.ID}, netpart.RunOptions{}, task, obs.RequestIDFrom(r.Context()))
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -111,6 +112,7 @@ func OpenFS(dir string, maxBytes int64) (*FS, error) {
 		idx, ok := s.verifyHeader(path)
 		if !ok {
 			s.corrupt++
+			slog.Warn("store: dropping corrupt blob at open", "path", path)
 			os.Remove(path)
 			continue
 		}
@@ -231,6 +233,7 @@ func (s *FS) Get(id string) (*Blob, bool) {
 		}
 		s.corrupt++
 		s.misses++
+		slog.Warn("store: dropping corrupt blob on read", "id", id, "path", path)
 		os.Remove(path)
 		return nil, false
 	}
