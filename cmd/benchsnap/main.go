@@ -6,7 +6,8 @@
 // Usage:
 //
 //	benchsnap [-bench 'BenchmarkSweep|BenchmarkScenario|BenchmarkTrace|BenchmarkCluster|BenchmarkStore|BenchmarkArchive|BenchmarkMetrics']
-//	          [-benchtime 100ms] [-count 3] [-out BENCH_sweep.json] [packages ...]
+//	          [-benchtime 500ms] [-count 3] [-out BENCH_sweep.json]
+//	          [-compare BENCH_sweep.json -tolerance 25] [packages ...]
 //
 // Packages default to the repository root plus the store and serve
 // packages (the persistence hot paths). The output
@@ -25,6 +26,14 @@
 //     touches the scenario/sweep hot paths, and compare against the
 //     previous revision (absolute values are machine-dependent —
 //     compare snapshots taken on the same machine).
+//
+// Regression-guard mode: -compare loads a reference snapshot and
+// fails (exit 1) if any benchmark present in both runs is more than
+// -tolerance percent slower on ns/op than the reference. Faster is
+// never a failure, and benchmarks missing from either side are
+// reported but not fatal. Absolute times differ across machines, so
+// guard runs only make sense with a generous tolerance or a reference
+// taken on the same hardware class.
 package main
 
 import (
@@ -70,9 +79,11 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+)
 
 func main() {
 	bench := flag.String("bench", "BenchmarkSweep|BenchmarkScenario|BenchmarkTrace|BenchmarkCluster|BenchmarkStore|BenchmarkArchive|BenchmarkMetrics", "benchmark selection regexp (go test -bench)")
-	benchtime := flag.String("benchtime", "100ms", "per-benchmark time or iteration budget")
+	benchtime := flag.String("benchtime", "500ms", "per-benchmark time or iteration budget")
 	count := flag.Int("count", 3, "repetitions per benchmark")
 	out := flag.String("out", "BENCH_sweep.json", "output file (- for stdout)")
+	compare := flag.String("compare", "", "reference snapshot to guard against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression over the reference, percent")
 	flag.Parse()
 	log.SetPrefix("benchsnap: ")
 	log.SetFlags(0)
@@ -156,10 +167,57 @@ func main() {
 	doc = append(doc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(doc)
-		return
+	} else {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("benchsnap: recorded %d benchmarks to %s\n", len(snap.Results), *out)
 	}
-	if err := os.WriteFile(*out, doc, 0o644); err != nil {
-		log.Fatal(err)
+	if *compare != "" {
+		if regressed := compareSnapshots(snap, *compare, *tolerance); regressed {
+			os.Exit(1)
+		}
 	}
-	fmt.Printf("benchsnap: recorded %d benchmarks to %s\n", len(snap.Results), *out)
+}
+
+// compareSnapshots guards the fresh snapshot against a reference file:
+// any benchmark in both that is more than tolerance percent slower on
+// ns/op is a regression. Returns true when at least one regressed.
+func compareSnapshots(snap snapshot, refPath string, tolerance float64) bool {
+	raw, err := os.ReadFile(refPath)
+	if err != nil {
+		log.Fatalf("compare: %v", err)
+	}
+	var ref snapshot
+	if err := json.Unmarshal(raw, &ref); err != nil {
+		log.Fatalf("compare: parsing %s: %v", refPath, err)
+	}
+	refByName := map[string]result{}
+	for _, r := range ref.Results {
+		refByName[r.Name] = r
+	}
+	regressed := false
+	for _, r := range snap.Results {
+		base, ok := refByName[r.Name]
+		if !ok {
+			fmt.Printf("benchsnap: %s: new benchmark (no reference)\n", r.Name)
+			continue
+		}
+		delete(refByName, r.Name)
+		if base.NsPerOp <= 0 {
+			continue
+		}
+		deltaPct := (r.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+		status := "ok"
+		if deltaPct > tolerance {
+			status = "REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("benchsnap: %s: %.0f ns/op vs %.0f reference (%+.1f%%, tolerance %.0f%%) %s\n",
+			r.Name, r.NsPerOp, base.NsPerOp, deltaPct, tolerance, status)
+	}
+	for name := range refByName {
+		fmt.Printf("benchsnap: %s: in reference but not in this run\n", name)
+	}
+	return regressed
 }

@@ -18,6 +18,7 @@ package bgq
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"netpart/internal/iso"
 	"netpart/internal/torus"
@@ -150,6 +151,13 @@ type Machine struct {
 	// predefined, when non-nil, lists the partitions the scheduler
 	// permits, keyed by midplane count.
 	predefined map[int]Partition
+
+	// extremeMemo caches Best/Worst per (midplanes, wantMax): the
+	// search enumerates every geometry of the size and scores each
+	// bisection bandwidth, and schedulers ask for the same handful of
+	// sizes on every placement decision. Depends only on Grid, which
+	// is fixed at construction. Safe for concurrent use.
+	extremeMemo sync.Map
 }
 
 // NewMachine builds a machine from its midplane grid.
@@ -263,9 +271,27 @@ func (m *Machine) Worst(midplanes int) (Partition, bool) {
 	return m.extreme(midplanes, false)
 }
 
+// extremeKey identifies one memoized Best/Worst lookup.
+type extremeKey struct {
+	midplanes int
+	wantMax   bool
+}
+
+// extremeResult is one memoized Best/Worst answer.
+type extremeResult struct {
+	part Partition
+	ok   bool
+}
+
 func (m *Machine) extreme(midplanes int, wantMax bool) (Partition, bool) {
+	k := extremeKey{midplanes, wantMax}
+	if v, ok := m.extremeMemo.Load(k); ok {
+		e := v.(extremeResult)
+		return e.part, e.ok
+	}
 	geoms := m.Geometries(midplanes)
 	if len(geoms) == 0 {
+		m.extremeMemo.Store(k, extremeResult{})
 		return Partition{}, false
 	}
 	best := geoms[0]
@@ -276,6 +302,7 @@ func (m *Machine) extreme(midplanes int, wantMax bool) (Partition, bool) {
 			best, bestBW = g, bw
 		}
 	}
+	m.extremeMemo.Store(k, extremeResult{best, true})
 	return best, true
 }
 

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// runPairs drives a fixed two-flow contention workload and returns the
+// completion time: two flows share link 0, one continues over link 1.
+func runPairs(s *Sim) float64 {
+	s.StartFlow([]int{0}, 100, 0)
+	s.StartFlow([]int{0, 1}, 50, 0)
+	s.StartFlow([]int{2}, 10, 0.5)
+	return s.RunUntilIdle()
+}
+
+// TestResetMatchesFresh: a Reset simulator reproduces a fresh one
+// bit-for-bit across repeated reuse, including shrinking and growing
+// the link count.
+func TestResetMatchesFresh(t *testing.T) {
+	fresh := New(3, 10)
+	want := runPairs(fresh)
+	wantStats := fresh.Stats()
+
+	reused := New(7, 99) // different size and capacity
+	// Dirty it thoroughly: active flows left in flight.
+	reused.StartFlow([]int{0, 1, 2, 3}, 1e6, 0)
+	reused.StartFlow([]int{4}, 5, 0)
+	reused.Step()
+
+	for round := 0; round < 3; round++ {
+		reused.ResetUniform(3, 10)
+		if reused.Now() != 0 || reused.ActiveFlows() != 0 || reused.NumLinks() != 3 {
+			t.Fatalf("round %d: reset state now=%v active=%d links=%d", round, reused.Now(), reused.ActiveFlows(), reused.NumLinks())
+		}
+		got := runPairs(reused)
+		if got != want {
+			t.Fatalf("round %d: reused sim time %v, fresh %v", round, got, want)
+		}
+		gs := reused.Stats()
+		if gs.TotalBytes != wantStats.TotalBytes || gs.FlowsCompleted != wantStats.FlowsCompleted ||
+			gs.MaxLinkBytes != wantStats.MaxLinkBytes || gs.BusiestLink != wantStats.BusiestLink {
+			t.Fatalf("round %d: stats %+v, fresh %+v", round, gs, wantStats)
+		}
+		for l := 0; l < 3; l++ {
+			if reused.LinkBytes(l) != fresh.LinkBytes(l) {
+				t.Fatalf("round %d: link %d bytes %v, fresh %v", round, l, reused.LinkBytes(l), fresh.LinkBytes(l))
+			}
+		}
+	}
+}
+
+// TestResetWithCapacities: per-link capacities apply after Reset and
+// the caps slice is copied, not aliased.
+func TestResetWithCapacities(t *testing.T) {
+	s := New(1, 5)
+	caps := []float64{10, 20}
+	s.Reset(caps)
+	caps[0] = 1e-9 // mutating the caller's slice must not affect the sim
+	s.StartFlow([]int{0}, 100, 0)
+	s.StartFlow([]int{1}, 100, 0)
+	elapsed := s.RunUntilIdle()
+	if elapsed != 10 { // 100 bytes at 10 B/s on the slower link
+		t.Fatalf("elapsed = %v, want 10", elapsed)
+	}
+}
+
+// TestResetRejectsInvalidCapacity: validation matches the constructor.
+func TestResetRejectsInvalidCapacity(t *testing.T) {
+	s := New(1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	s.Reset([]float64{0})
+}
+
+// TestResetOldFlowIDsInvalid: flows from before a Reset are unknown
+// afterward, and new IDs restart from zero.
+func TestResetOldFlowIDsInvalid(t *testing.T) {
+	s := New(2, 10)
+	old := s.StartFlow([]int{0}, 100, 0)
+	s.Reset([]float64{10, 10})
+	if _, ok := s.FlowRate(old); ok {
+		t.Fatal("pre-reset flow still resolvable")
+	}
+	if id := s.StartFlow([]int{1}, 1, 0); id != 0 {
+		t.Fatalf("first post-reset flow ID = %d, want 0", id)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"netpart/internal/bgq"
 	"netpart/internal/faults"
 	"netpart/internal/sched"
+	"netpart/internal/torus"
 )
 
 // Event is one simulator occurrence, emitted in engine-call order
@@ -131,6 +132,16 @@ type Snapshot struct {
 	// placed and no pending event can change that (a permanent outage
 	// holds the midplanes it needs).
 	Stuck bool `json:"stuck,omitempty"`
+	// RunningPatterned counts running jobs with a communication
+	// pattern; LiveFlows is the total routed flows of their placed
+	// geometries (zero in oracle runs, which touch no flow-set cache);
+	// ContentionExcessSec is the sum of (dilation−1)·base runtime over
+	// running jobs — the runtime currently being lost to placement
+	// contention. All three are patched in O(1) as jobs place, finish
+	// and are killed, never recomputed from a sweep.
+	RunningPatterned    int     `json:"running_patterned,omitempty"`
+	LiveFlows           int     `json:"live_flows,omitempty"`
+	ContentionExcessSec float64 `json:"contention_excess_sec,omitempty"`
 	// Metrics are the headline numbers over the finished jobs so far.
 	Metrics Metrics `json:"metrics"`
 }
@@ -148,7 +159,21 @@ type Config struct {
 	// OnEvent, when non-nil, receives every event. Callbacks run on
 	// the goroutine driving the engine.
 	OnEvent func(Event)
+	// Oracle forces the uncached reference implementation end to end:
+	// placement through the generic materialize-every-candidate scan
+	// instead of the fused plan cache, and contention scores from
+	// fresh tori, routers and simulators instead of the memo, flow-set
+	// cache and simulator pool. The differential tests hold the fast
+	// path to this engine byte for byte; production runs leave it off.
+	Oracle bool
 }
+
+// oraclePolicy hides the concrete policy type from the sched fused
+// placement scans, forcing the generic candidates()+Choose path — the
+// reference implementation the fused scans are pinned against. Name
+// and Choose are promoted, so scheduling behavior is identical by
+// construction; only the enumeration machinery differs.
+type oraclePolicy struct{ sched.PlacementPolicy }
 
 // Engine is the incremental trace simulator: a sched.Stepper wrapped
 // with the contention scorer, per-job dilation and restart tracking,
@@ -169,6 +194,16 @@ type Engine struct {
 	patterned int
 	failCells []int
 	scoreErr  error
+
+	// Live contention state (the Snapshot RunningPatterned/LiveFlows/
+	// ContentionExcessSec fields), patched as jobs place, finish and
+	// are killed. jobFlows records each running patterned job's routed
+	// flow count so its kill or finish can subtract exactly what its
+	// placement added.
+	livePatterned int
+	liveFlows     int
+	liveExcessSec float64
+	jobFlows      []int
 }
 
 // NewEngine validates the config and prepares an empty cluster at
@@ -186,6 +221,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("cluster: unknown policy %q", cfg.Policy)
 	}
 	e := &Engine{m: m, cfg: cfg, sc: newScorer(m), free: m.Midplanes()}
+	if cfg.Oracle {
+		policy = oraclePolicy{policy}
+		e.sc.oracle = true
+	}
 
 	// Failure model: resolve the affected cells once, then one sched
 	// outage per window (no windows: the failure holds for the whole
@@ -250,8 +289,48 @@ func (e *Engine) emit(ev Event) {
 	}
 }
 
+// flowCount returns the routed flow count of a patterned job's placed
+// geometry for the live-contention accounting (0 in oracle runs,
+// which must not touch the flow-set cache). Errors were already
+// surfaced through the dilation score for the same pair.
+func (e *Engine) flowCount(lens torus.Shape, pattern string) int {
+	if e.sc.oracle {
+		return 0
+	}
+	fs, err := flowSetFor(lens, pattern)
+	if err != nil {
+		return 0
+	}
+	return len(fs.paths)
+}
+
+// placeLive patches a starting job into the live contention state;
+// dropLive reverses it when the job finishes or is killed.
+func (e *Engine) placeLive(a sched.Allocation) {
+	js := e.jobs[a.Job.ID]
+	if js.Pattern == "" {
+		return
+	}
+	e.livePatterned++
+	n := e.flowCount(a.Placement.Lens, js.Pattern)
+	e.jobFlows[a.Job.ID] = n
+	e.liveFlows += n
+	e.liveExcessSec += (e.dilations[a.Job.ID] - 1) * a.Job.BaseDurationSec
+}
+
+func (e *Engine) dropLive(a sched.Allocation) {
+	if e.jobs[a.Job.ID].Pattern == "" {
+		return
+	}
+	e.livePatterned--
+	e.liveFlows -= e.jobFlows[a.Job.ID]
+	e.jobFlows[a.Job.ID] = 0
+	e.liveExcessSec -= (e.dilations[a.Job.ID] - 1) * a.Job.BaseDurationSec
+}
+
 func (e *Engine) onStart(a sched.Allocation) {
 	e.free -= a.Job.Midplanes
+	e.placeLive(a)
 	base := Event{
 		TimeSec: a.StartSec, Job: a.Job.ID,
 		Midplanes: a.Job.Midplanes, Geometry: a.Placement.Lens.String(),
@@ -274,6 +353,7 @@ func (e *Engine) onStart(a sched.Allocation) {
 
 func (e *Engine) onFinish(a sched.Allocation) {
 	e.free += a.Job.Midplanes
+	e.dropLive(a)
 	js := e.jobs[a.Job.ID]
 	// Killed jobs are requeued with their arrival reset to the kill
 	// time; the outcome reports against the originally submitted
@@ -318,6 +398,7 @@ func (e *Engine) onOutage(_ int, open bool, timeSec float64, gridFree int) {
 
 func (e *Engine) onKill(a sched.Allocation, timeSec float64, gridFree int) {
 	e.free = gridFree
+	e.dropLive(a)
 	e.restarts[a.Job.ID]++
 	e.emit(Event{
 		Kind: "kill", TimeSec: timeSec, Job: a.Job.ID,
@@ -356,10 +437,12 @@ func (e *Engine) Submit(jobs []Job) (int, error) {
 	e.jobs = append(e.jobs, norm...)
 	e.dilations = append(e.dilations, make([]float64, len(norm))...)
 	e.restarts = append(e.restarts, make([]int, len(norm))...)
+	e.jobFlows = append(e.jobFlows, make([]int, len(norm))...)
 	if err := e.st.Submit(sjobs...); err != nil {
 		e.jobs = e.jobs[:base]
 		e.dilations = e.dilations[:base]
 		e.restarts = e.restarts[:base]
+		e.jobFlows = e.jobFlows[:base]
 		return 0, err
 	}
 	for i, nj := range norm {
@@ -478,7 +561,12 @@ func (e *Engine) Snapshot() Snapshot {
 		FreeMidplanes:    e.free,
 		MachineMidplanes: e.m.Midplanes(),
 		Stuck:            e.st.Stuck(),
-		Metrics:          e.Metrics(),
+
+		RunningPatterned:    e.livePatterned,
+		LiveFlows:           e.liveFlows,
+		ContentionExcessSec: e.liveExcessSec,
+
+		Metrics: e.Metrics(),
 	}
 }
 

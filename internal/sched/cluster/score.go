@@ -1,18 +1,14 @@
 package cluster
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"netpart/internal/bgq"
 	"netpart/internal/model"
 	"netpart/internal/netsim"
-	"netpart/internal/route"
-	"netpart/internal/scenario"
 	"netpart/internal/sched"
 	"netpart/internal/torus"
-	"netpart/internal/workload"
 )
 
 // patternSecMemo caches pattern round times by "geometry|pattern".
@@ -39,71 +35,85 @@ func MemoCounts() (hits, misses uint64) {
 // geometry, relative to the best geometry of the same size.
 type scorer struct {
 	m *bgq.Machine
+	// oracle disables every cache on the scoring path — the scalar
+	// memo, the flow-set cache, the simulator pool and the best-
+	// partition memo — recomputing each score from scratch. It is the
+	// reference implementation the differential tests hold the cached
+	// path to, byte for byte.
+	oracle bool
+	// bestCache memoizes Machine.Best per midplane count: Best
+	// re-enumerates the geometry catalog on every call, and the
+	// dilation of every patterned or contention-bound job needs it.
+	// The engine event loop is sequential, so a plain map suffices.
+	bestCache map[int]bestEntry
+}
+
+type bestEntry struct {
+	part bgq.Partition
+	ok   bool
 }
 
 func newScorer(m *bgq.Machine) *scorer {
-	return &scorer{m: m}
+	return &scorer{m: m, bestCache: map[int]bestEntry{}}
+}
+
+// best returns the bisection-best partition of the size, memoized per
+// scorer (except in oracle mode).
+func (sc *scorer) best(midplanes int) (bgq.Partition, bool) {
+	if sc.oracle {
+		return sc.m.Best(midplanes)
+	}
+	if e, ok := sc.bestCache[midplanes]; ok {
+		return e.part, e.ok
+	}
+	part, ok := sc.m.Best(midplanes)
+	sc.bestCache[midplanes] = bestEntry{part, ok}
+	return part, ok
 }
 
 // patternSec returns the flow-level simulated time of one pattern
 // round on the midplane-level torus of the geometry (0 when the
-// geometry has no links, i.e. a single midplane).
+// geometry has no links, i.e. a single midplane). Misses of the
+// scalar memo compile (or fetch) the routed flow set and replay it
+// into a pooled simulator.
 func (sc *scorer) patternSec(geom torus.Shape, pattern string) (float64, error) {
+	if sc.oracle {
+		return patternSecOracle(geom, pattern)
+	}
 	key := geom.String() + "|" + pattern
 	if v, ok := patternSecMemo.Load(key); ok {
 		memoHits.Add(1)
 		return v.(float64), nil
 	}
 	memoMisses.Add(1)
-	// Length-1 dimensions carry no links; drop them so the torus is
-	// the real communication graph of the cuboid.
-	dims := make([]int, 0, len(geom))
-	for _, d := range geom {
-		if d > 1 {
-			dims = append(dims, d)
-		}
-	}
-	if len(dims) == 0 {
-		patternSecMemo.Store(key, 0.0)
-		return 0, nil
-	}
-	tor, err := torus.New(dims...)
-	if err != nil {
-		return 0, fmt.Errorf("cluster: geometry %s: %w", geom, err)
-	}
-	r := route.NewRouter(tor)
-	var demands []route.Demand
-	switch pattern {
-	case PatternPairing:
-		demands, err = workload.BisectionPairing(r, scenario.DefaultBytes)
-	case PatternAllToAll:
-		demands, err = workload.AllToAll(tor, scenario.DefaultBytes)
-	case PatternNeighbor:
-		demands, err = workload.NearestNeighbor(tor, scenario.DefaultBytes)
-	default:
-		err = fmt.Errorf("cluster: unknown pattern %q", pattern)
-	}
+	fs, err := flowSetFor(geom, pattern)
 	if err != nil {
 		return 0, err
 	}
-	caps := make([]float64, r.NumLinks())
+	sec := fs.replay()
+	patternSecMemo.Store(key, sec)
+	return sec, nil
+}
+
+// patternSecOracle is the uncached reference: a fresh torus, router,
+// demand list and simulator per call, touching no process-wide state.
+func patternSecOracle(geom torus.Shape, pattern string) (float64, error) {
+	fs, err := buildFlowSet(geom, pattern)
+	if err != nil {
+		return 0, err
+	}
+	if len(fs.paths) == 0 {
+		return 0, nil
+	}
+	caps := make([]float64, fs.numLinks)
 	for i := range caps {
 		caps[i] = model.LinkBytesPerSec
 	}
 	sim := netsim.NewWithCapacities(caps)
-	started := false
-	for _, d := range demands {
-		if path := r.Route(d.Src, d.Dst, nil); len(path) > 0 {
-			sim.StartFlow(path, d.Bytes, 0)
-			started = true
-		}
+	for i, p := range fs.paths {
+		sim.StartFlow(p, fs.bytes[i], 0)
 	}
-	var sec float64
-	if started {
-		sec = sim.RunUntilIdle()
-	}
-	patternSecMemo.Store(key, sec)
-	return sec, nil
+	return sim.RunUntilIdle(), nil
 }
 
 // dilation scores one placement: patterned jobs by the flow-level
@@ -115,13 +125,13 @@ func (sc *scorer) dilation(j Job, pl sched.Placement) (float64, error) {
 		if !j.ContentionBound {
 			return 1, nil
 		}
-		best, ok := sc.m.Best(j.Midplanes)
+		best, ok := sc.best(j.Midplanes)
 		if !ok {
 			return 1, nil
 		}
 		return float64(best.BisectionBW()) / float64(pl.Partition().BisectionBW()), nil
 	}
-	best, ok := sc.m.Best(j.Midplanes)
+	best, ok := sc.best(j.Midplanes)
 	if !ok {
 		return 1, nil
 	}

@@ -33,6 +33,11 @@ type Grid struct {
 	// overlap, so this is a refcount, not a flag). A blocked cell is
 	// never free and never placeable.
 	blocked []int
+	// free counts cells that are neither occupied nor blocked,
+	// maintained incrementally by occupy/release/block/unblock so
+	// FreeMidplanes (and the fused placement scans' capacity precheck)
+	// are O(1) instead of a grid sweep.
+	free int
 }
 
 // NewGrid creates an empty occupancy grid for a machine.
@@ -44,7 +49,7 @@ func NewGrid(m *bgq.Machine) *Grid {
 		strides[i] = s
 		s *= dims[i]
 	}
-	return &Grid{machine: m, dims: dims, strides: strides, used: make([]int, s), blocked: make([]int, s)}
+	return &Grid{machine: m, dims: dims, strides: strides, used: make([]int, s), blocked: make([]int, s), free: s}
 }
 
 // Machine returns the underlying machine.
@@ -52,15 +57,7 @@ func (g *Grid) Machine() *bgq.Machine { return g.machine }
 
 // FreeMidplanes returns the number of midplanes that are neither
 // occupied nor blocked by a failure.
-func (g *Grid) FreeMidplanes() int {
-	n := 0
-	for c, u := range g.used {
-		if u == 0 && g.blocked[c] == 0 {
-			n++
-		}
-	}
-	return n
-}
+func (g *Grid) FreeMidplanes() int { return g.free }
 
 // BlockCells removes midplanes from service before any job is placed:
 // the cells disappear from candidate enumeration exactly as if they
@@ -86,6 +83,9 @@ func (g *Grid) BlockCells(cells []int) error {
 // opens.
 func (g *Grid) block(cells []int) {
 	for _, c := range cells {
+		if g.blocked[c] == 0 && g.used[c] == 0 {
+			g.free--
+		}
 		g.blocked[c]++
 	}
 }
@@ -96,6 +96,9 @@ func (g *Grid) unblock(cells []int) {
 			panic(fmt.Sprintf("sched: unblocking midplane %d that is not blocked", c))
 		}
 		g.blocked[c]--
+		if g.blocked[c] == 0 && g.used[c] == 0 {
+			g.free++
+		}
 	}
 }
 
@@ -148,6 +151,7 @@ func (g *Grid) occupy(jobID int, origin torus.Coord, lens torus.Shape) {
 			panic(fmt.Sprintf("sched: allocating failed midplane %d", c))
 		}
 		g.used[c] = jobID + 1
+		g.free--
 	}
 }
 
@@ -158,6 +162,9 @@ func (g *Grid) release(jobID int, origin torus.Coord, lens torus.Shape) {
 			panic(fmt.Sprintf("sched: releasing midplane %d not owned by job %d", c, jobID))
 		}
 		g.used[c] = 0
+		if g.blocked[c] == 0 {
+			g.free++
+		}
 	}
 }
 

@@ -50,6 +50,10 @@ type Stepper struct {
 	// fits memoizes neverFits per midplane count across Submit calls.
 	fits        map[int]bool
 	jobDuration func(Job, Placement) float64
+
+	// shadowEnds is scratch reused by shadowTime so each backfill
+	// admission test does not allocate a fresh slice.
+	shadowEnds []Allocation
 }
 
 // running is an active allocation plus the dilation it was priced at
@@ -331,11 +335,12 @@ func (st *Stepper) shadowTime(need int) float64 {
 	if free >= need {
 		return st.now
 	}
-	ends := make([]Allocation, 0, len(st.active))
+	ends := st.shadowEnds[:0]
 	for _, r := range st.active {
 		ends = append(ends, r.alloc)
 	}
 	sort.Slice(ends, func(i, j int) bool { return ends[i].EndSec < ends[j].EndSec })
+	st.shadowEnds = ends
 	for _, a := range ends {
 		free += a.Job.Midplanes
 		if free >= need {
@@ -353,8 +358,8 @@ func (st *Stepper) tryStart() bool {
 		return false
 	}
 	job := st.queue[0]
-	if cands := st.grid.candidates(job.Midplanes); len(cands) > 0 {
-		st.startJob(job, st.policy.Choose(job, cands), false)
+	if pl, ok := st.grid.placeFor(job, st.policy); ok {
+		st.startJob(job, pl, false)
 		st.queue = st.queue[1:]
 		return true
 	}
@@ -371,11 +376,10 @@ func (st *Stepper) tryStart() bool {
 		if cand.ArrivalSec > st.now {
 			continue
 		}
-		cs := st.grid.candidates(cand.Midplanes)
-		if len(cs) == 0 {
+		pl, ok := st.grid.placeFor(cand, st.policy)
+		if !ok {
 			continue
 		}
-		pl := st.policy.Choose(cand, cs)
 		if st.now+st.jobDuration(cand, pl)*st.price(pl) <= shadow {
 			st.startJob(cand, pl, true)
 			st.queue = append(st.queue[:i], st.queue[i+1:]...)
@@ -390,11 +394,11 @@ func (st *Stepper) tryStart() bool {
 // exactly when a window opens complete instead of being killed, and
 // healed cells are visible to an arrival at the same instant.
 func (st *Stepper) nextEvent() (kind, fi int, t float64) {
+	// The queue is sorted by arrival, so the next future arrival is
+	// the first entry past the clock.
 	nextArrival := -1.0
-	for _, j := range st.queue {
-		if j.ArrivalSec > st.now && (nextArrival < 0 || j.ArrivalSec < nextArrival) {
-			nextArrival = j.ArrivalSec
-		}
+	if i := sort.Search(len(st.queue), func(k int) bool { return st.queue[k].ArrivalSec > st.now }); i < len(st.queue) {
+		nextArrival = st.queue[i].ArrivalSec
 	}
 	nextBoundary := math.Inf(1)
 	if st.nextB < len(st.boundaries) {
@@ -534,5 +538,5 @@ func (st *Stepper) Stuck() bool {
 	if kind, _, _ := st.nextEvent(); kind != evNone {
 		return false
 	}
-	return len(st.grid.candidates(st.queue[0].Midplanes)) == 0
+	return !st.grid.anyFit(st.queue[0].Midplanes)
 }

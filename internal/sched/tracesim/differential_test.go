@@ -1,0 +1,118 @@
+package tracesim
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"netpart/internal/faults"
+)
+
+// differentialSpecs is the oracle-equivalence matrix: every golden
+// trace (synthetic and SWF, all three policies, backfill on) plus
+// backfill-off, hard-outage (kill + requeue) and degrade-window
+// variants per policy. Short mode (the CI race matrix) shrinks the
+// synthetic variants but drops nothing — every code path keeps its
+// differential check.
+func differentialSpecs(t *testing.T) map[string]Spec {
+	t.Helper()
+	specs := goldenSpecs(t)
+	jobs := 50
+	if testing.Short() {
+		jobs = 18
+	}
+	for _, policy := range allPolicies {
+		variant := func(pattern string) Spec {
+			return Spec{
+				Machine: "4x2x2x1", Policy: policy, Backfill: true,
+				Synthetic: &Synthetic{
+					Jobs: jobs, Seed: 17, RateHz: 0.05, Sizes: []int{1, 2, 4},
+					Runtime: RuntimeExp, MeanRuntimeSec: 200,
+					Pattern: pattern, PatternFraction: 0.6,
+				},
+			}
+		}
+		nb := variant(PatternPairing)
+		nb.Backfill = false
+		specs["diff_nobackfill_"+policy] = nb
+
+		hard := variant(PatternAllToAll)
+		hard.Failures = &faults.Spec{
+			Model: faults.ModelMidplanes, Midplanes: []int{0, 5},
+			Windows: []faults.Window{{StartSec: 100, EndSec: 400}},
+		}
+		specs["diff_hard_outage_"+policy] = hard
+
+		deg := variant(PatternNeighbor)
+		deg.Failures = &faults.Spec{
+			Model: faults.ModelMidplanes, Midplanes: []int{2, 3}, Factor: 0.5,
+			Windows: []faults.Window{{StartSec: 0, EndSec: 600}},
+		}
+		specs["diff_degrade_"+policy] = deg
+	}
+	return specs
+}
+
+// runCaptured executes one spec and returns the Result JSON and the
+// full event stream JSON.
+func runCaptured(t *testing.T, spec Spec, oracle bool) (resultJSON, eventsJSON []byte) {
+	t.Helper()
+	var events []Event
+	out, err := Run(context.Background(), spec, Options{
+		Oracle:  oracle,
+		OnEvent: func(ev Event) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatalf("oracle=%v: %v", oracle, err)
+	}
+	resultJSON, err = out.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventsJSON, err = json.MarshalIndent(events, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resultJSON, eventsJSON
+}
+
+// TestDifferentialOracle holds the cached fast path — fused placement
+// scans, plan cache, scalar contention memo, flow-set cache, pooled
+// simulators — byte-identical to the uncached reference
+// implementation on every trace of the matrix: same Result JSON (the
+// golden shape), same event stream. Any divergence is a correctness
+// bug in a cache or fused scan, not a tolerance question.
+func TestDifferentialOracle(t *testing.T) {
+	for name, spec := range differentialSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			fastRes, fastEv := runCaptured(t, spec, false)
+			oracleRes, oracleEv := runCaptured(t, spec, true)
+			if string(fastRes) != string(oracleRes) {
+				t.Errorf("result JSON diverges from the oracle")
+			}
+			if string(fastEv) != string(oracleEv) {
+				t.Errorf("event stream diverges from the oracle")
+			}
+		})
+	}
+}
+
+// TestDifferentialOracleRepeatable: a second fast-path run over a spec
+// the caches are now hot for still matches the oracle — hits are as
+// correct as misses.
+func TestDifferentialOracleRepeatable(t *testing.T) {
+	spec := Spec{
+		Machine: "juqueen", Policy: PolicyContentionAware, Backfill: true,
+		Synthetic: &Synthetic{
+			Jobs: 30, Seed: 23, RateHz: 0.04, Sizes: []int{1, 2, 4, 8},
+			Pattern: PatternPairing, PatternFraction: 0.5,
+		},
+	}
+	oracleRes, oracleEv := runCaptured(t, spec, true)
+	for round := 0; round < 2; round++ {
+		fastRes, fastEv := runCaptured(t, spec, false)
+		if string(fastRes) != string(oracleRes) || string(fastEv) != string(oracleEv) {
+			t.Fatalf("round %d: hot-cache run diverges from the oracle", round)
+		}
+	}
+}

@@ -31,6 +31,12 @@ type Options struct {
 	// OnProgress, when non-nil, receives (finishedJobs, totalJobs)
 	// after every completion.
 	OnProgress func(done, total int)
+	// Oracle runs the simulation through the uncached reference
+	// implementation (generic candidate enumeration, fresh contention
+	// simulators, no process-wide caches — including the healthy-
+	// baseline memo). The differential tests hold the fast path to
+	// this mode byte for byte; production runs leave it off.
+	Oracle bool
 }
 
 // Result is a completed trace simulation: the normalized spec, the
@@ -81,6 +87,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		Policy:   norm.Policy,
 		Backfill: norm.Backfill,
 		Failures: norm.Failures,
+		Oracle:   opts.Oracle,
 		OnEvent: func(ev Event) {
 			// The engine also emits submit/place/contention events;
 			// batch consumers see the classic stream.
@@ -128,7 +135,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	}
 	res.Metrics = eng.Metrics()
 	if norm.Failures != nil {
-		hm, err := healthyMetrics(ctx, norm)
+		hm, err := healthyMetrics(ctx, norm, opts.Oracle)
 		if err != nil {
 			return nil, fmt.Errorf("tracesim: healthy baseline: %w", err)
 		}
@@ -144,10 +151,18 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 var healthyMemo sync.Map
 
 // healthyMetrics runs the failure-stripped twin of a normalized spec
-// and returns its metrics (memoized process-wide).
-func healthyMetrics(ctx context.Context, norm Spec) (Metrics, error) {
+// and returns its metrics (memoized process-wide, except in oracle
+// mode, which bypasses every cache and recomputes the twin).
+func healthyMetrics(ctx context.Context, norm Spec, oracle bool) (Metrics, error) {
 	healthy := norm
 	healthy.Failures = nil
+	if oracle {
+		hres, err := Run(ctx, healthy, Options{Oracle: true})
+		if err != nil {
+			return Metrics{}, err
+		}
+		return hres.Metrics, nil
+	}
 	key := healthy.Key()
 	if v, ok := healthyMemo.Load(key); ok {
 		return v.(Metrics), nil

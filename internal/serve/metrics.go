@@ -114,6 +114,24 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	reg.CounterFunc("netpart_sim_stepper_events_total",
 		"Process-wide scheduler stepper events processed (starts, finishes, boundaries).",
 		func() float64 { return float64(sched.StepperEventsProcessed()) })
+	reg.CounterFunc("netpart_sim_flowset_cache_hits_total",
+		"Process-wide compiled flow-set cache lookups answered from the cache.",
+		func() float64 { hits, _, _ := cluster.FlowSetCounts(); return float64(hits) })
+	reg.CounterFunc("netpart_sim_flowset_cache_misses_total",
+		"Process-wide flow-set cache lookups that compiled routes and demands.",
+		func() float64 { _, misses, _ := cluster.FlowSetCounts(); return float64(misses) })
+	reg.CounterFunc("netpart_sim_flowset_cache_evictions_total",
+		"Compiled flow sets evicted past the cache bound.",
+		func() float64 { _, _, ev := cluster.FlowSetCounts(); return float64(ev) })
+	reg.CounterFunc("netpart_sched_plan_cache_hits_total",
+		"Process-wide placement-plan cache lookups answered from the cache.",
+		func() float64 { hits, _, _ := sched.PlanCacheCounts(); return float64(hits) })
+	reg.CounterFunc("netpart_sched_plan_cache_misses_total",
+		"Process-wide plan-cache lookups that compiled a candidate space.",
+		func() float64 { _, misses, _ := sched.PlanCacheCounts(); return float64(misses) })
+	reg.CounterFunc("netpart_sched_plan_cache_evictions_total",
+		"Compiled placement plans evicted past the cache bound.",
+		func() float64 { _, _, ev := sched.PlanCacheCounts(); return float64(ev) })
 	return m
 }
 
